@@ -1,0 +1,113 @@
+package lbcast
+
+import (
+	"testing"
+
+	"lbcast/internal/exp"
+)
+
+// benchmarkExperiment runs one claim-reproduction experiment per iteration
+// at bench scale. Each benchmark regenerates one EXPERIMENTS.md table set;
+// run cmd/lbbench for the full-size tables.
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exp.SizeSmall, uint64(i+1)); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Theorem 3.1: seed agreement δ bound.
+func BenchmarkSeedDelta(b *testing.B) { benchmarkExperiment(b, "E-SEED-DELTA") }
+
+// Theorem 3.1: seed agreement running time.
+func BenchmarkSeedTime(b *testing.B) { benchmarkExperiment(b, "E-SEED-TIME") }
+
+// Seed(δ, ε) specification conditions 1–4.
+func BenchmarkSeedSpec(b *testing.B) { benchmarkExperiment(b, "E-SEED-SPEC") }
+
+// Theorem 4.1: progress within t_prog.
+func BenchmarkProgress(b *testing.B) { benchmarkExperiment(b, "E-PROG") }
+
+// Theorem 4.1: reliability and t_ack.
+func BenchmarkAck(b *testing.B) { benchmarkExperiment(b, "E-ACK") }
+
+// Lemma 4.2: per-round reception probabilities.
+func BenchmarkRecvProb(b *testing.B) { benchmarkExperiment(b, "E-RECV-PROB") }
+
+// §4.1 deterministic conditions across workloads.
+func BenchmarkDeterministic(b *testing.B) { benchmarkExperiment(b, "E-DET") }
+
+// §1 Discussion: anti-Decay adversary vs fixed schedules.
+func BenchmarkAdversarial(b *testing.B) { benchmarkExperiment(b, "E-ADV") }
+
+// §1 near-optimality: Ω(logΔ) progress and Ω(Δ) acknowledgement floors.
+func BenchmarkLowerBounds(b *testing.B) { benchmarkExperiment(b, "E-LOWER") }
+
+// [11]: adaptive link schedulers kill progress.
+func BenchmarkAdaptive(b *testing.B) { benchmarkExperiment(b, "E-ADAPT") }
+
+// §1 true locality: guarantees independent of n.
+func BenchmarkLocality(b *testing.B) { benchmarkExperiment(b, "E-LOCAL") }
+
+// Lemmas A.1–A.3: region partition substrate.
+func BenchmarkRegions(b *testing.B) { benchmarkExperiment(b, "E-REGION") }
+
+// Abstract MAC layer composition: global broadcast.
+func BenchmarkAmacBroadcast(b *testing.B) { benchmarkExperiment(b, "E-AMAC") }
+
+// §4.2 remark: seed agreement every k phases.
+func BenchmarkAblationSeedFreq(b *testing.B) { benchmarkExperiment(b, "E-ABL-FREQ") }
+
+// [9,10] composition: multi-message broadcast over the layer.
+func BenchmarkMMB(b *testing.B) { benchmarkExperiment(b, "E-MMB") }
+
+// [20] composition: consensus over the layer.
+func BenchmarkConsensus(b *testing.B) { benchmarkExperiment(b, "E-CONSENSUS") }
+
+// Constant calibration sweeps.
+func BenchmarkConstants(b *testing.B) { benchmarkExperiment(b, "E-CONST") }
+
+// BenchmarkBroadcastAck measures one full bcast→ack cycle through the
+// public API on an 8-node cluster.
+func BenchmarkBroadcastAck(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw, err := NewCluster(8, WithEpsilon(0.25), WithSeed(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := nw.Broadcast(0, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !nw.RunUntilAck(id) {
+			b.Fatal("no ack")
+		}
+	}
+}
+
+// BenchmarkNetworkRound measures raw round throughput of a 200-node
+// geometric network through the public API.
+func BenchmarkNetworkRound(b *testing.B) {
+	nw, err := NewRandomGeometric(200, 6, 6, 1.5, WithSeed(1), WithEpsilon(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < nw.Size(); u += 20 {
+		if _, err := nw.Broadcast(u, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
+}

@@ -1,0 +1,75 @@
+// Command lbbench runs the experiment suite that reproduces every
+// quantitative claim of the paper and prints the EXPERIMENTS.md tables.
+//
+// Usage:
+//
+//	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lbcast/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		sizeFlag = flag.String("size", "medium", "experiment scale: small|medium|full")
+		seedFlag = flag.Uint64("seed", 1, "experiment seed")
+		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range exp.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	size, err := exp.ParseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var todo []exp.Experiment
+	if *expFlag == "" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(size, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("# %s — %s (%.1fs)\n\n", res.ID, res.Claim, time.Since(start).Seconds())
+		for _, tbl := range res.Tables {
+			if err := tbl.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+// Command lbsim runs one local broadcast configuration and prints a
+// specification report: deterministic condition violations, reliability and
+// progress rates, latency quantiles and channel statistics.
+//
+// Usage:
+//
+//	lbsim -topo cluster -n 16 -eps 0.1 -sched random -phases 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/lbspec"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/xrand"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "cluster", "topology: cluster|geometric|twotier|line|grid")
+		n         = flag.Int("n", 16, "node count (side² for grid; clusters×size for twotier)")
+		r         = flag.Float64("r", 1.5, "geographic parameter r ≥ 1")
+		eps       = flag.Float64("eps", 0.1, "error bound ε₁ ∈ (0, ½]")
+		schedN    = flag.String("sched", "random", "link scheduler: never|always|random|periodic|antidecay")
+		schedP    = flag.Float64("sched-p", 0.5, "inclusion probability for -sched random")
+		phases    = flag.Int("phases", 6, "LBAlg phases to run")
+		senders   = flag.Int("senders", 3, "number of saturated senders")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		traceFile = flag.String("trace", "", "write the execution trace as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*topo, *n, *r, *eps, *schedN, *schedP, *phases, *senders, *seed, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, n int, r, eps float64, schedName string, schedP float64, phases, senders int, seed uint64, traceFile string) error {
+	rng := xrand.New(seed)
+	var (
+		d   *dualgraph.Dual
+		err error
+	)
+	switch topo {
+	case "cluster":
+		d, err = dualgraph.SingleHopCluster(n, 1, rng)
+	case "geometric":
+		side := 1 + float64(n)/12
+		d, err = dualgraph.RandomGeometric(n, side, side, r, dualgraph.GreyUnreliable, rng)
+	case "twotier":
+		k := 3
+		d, err = dualgraph.TwoTierClusters(k, (n+k-1)/k, maxf(r, 1.5), rng)
+	case "line":
+		d, err = dualgraph.Line(n, 1, r, rng)
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		d, err = dualgraph.GridLattice(side, 1, r, rng)
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+	if err != nil {
+		return err
+	}
+
+	p, err := core.DeriveParams(d.Delta(), d.DeltaPrime(), maxf(d.R, 1), eps)
+	if err != nil {
+		return err
+	}
+
+	var linkSched sim.LinkScheduler
+	switch schedName {
+	case "never":
+		linkSched = sched.Never{}
+	case "always":
+		linkSched = sched.Always{}
+	case "random":
+		linkSched = sched.Random{P: schedP, Seed: seed}
+	case "periodic":
+		linkSched = sched.Periodic{Period: 8, OnRounds: 3}
+	case "antidecay":
+		linkSched = sched.AntiDecay{CycleLen: p.LogDelta}
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+
+	if senders > d.N() {
+		senders = d.N()
+	}
+	procs := make([]*core.LBAlg, d.N())
+	simProcs := make([]sim.Process, d.N())
+	svcs := make([]core.Service, d.N())
+	for u := 0; u < d.N(); u++ {
+		procs[u] = core.NewLBAlg(p)
+		simProcs[u] = procs[u]
+		svcs[u] = procs[u]
+	}
+	senderIDs := make([]int, senders)
+	for i := range senderIDs {
+		senderIDs[i] = i
+	}
+	env := core.NewSaturatingEnv(svcs, senderIDs)
+	engine, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: linkSched, Env: env, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rounds := phases * p.PhaseLen()
+	engine.Run(rounds)
+	tr := engine.Trace()
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d events)\n", traceFile, len(tr.Events))
+	}
+	rep := lbspec.Check(d, tr, p.TAckBound(), p.TProgBound())
+
+	fmt.Printf("configuration: topo=%s n=%d Δ=%d Δ'=%d r=%v ε=%v sched=%s seed=%d\n",
+		topo, d.N(), d.Delta(), d.DeltaPrime(), d.R, eps, schedName, seed)
+	fmt.Printf("schedule: Ts=%d Tprog=%d phase=%d t_prog=%d Tack=%d phases t_ack=%d rounds\n",
+		p.Ts, p.Tprog, p.PhaseLen(), p.TProgBound(), p.Tack, p.TAckBound())
+	fmt.Printf("ran %d rounds (%d phases)\n\n", rounds, phases)
+
+	tbl := &stats.Table{Title: "specification report", Columns: []string{"metric", "value"}}
+	tbl.AddRow("deterministic violations", len(rep.Violations))
+	tbl.AddRow("broadcasts completed", rep.Broadcasts)
+	tbl.AddRow("reliability", stats.FormatRate(rep.ReliableSuccesses, rep.Broadcasts))
+	tbl.AddRow("progress", stats.FormatRate(rep.ProgressSuccesses, rep.ProgressOpportunities))
+	if len(rep.AckLatencies) > 0 {
+		tbl.AddRow("ack latency p50/p95 (rounds)", fmt.Sprintf("%.0f / %.0f",
+			stats.QuantileInts(rep.AckLatencies, 0.5), stats.QuantileInts(rep.AckLatencies, 0.95)))
+	}
+	tbl.AddRow("transmissions", tr.Transmissions)
+	tbl.AddRow("deliveries", tr.Deliveries)
+	tbl.AddRow("collisions", tr.Collisions)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

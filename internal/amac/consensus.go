@@ -1,0 +1,157 @@
+package amac
+
+import (
+	"fmt"
+
+	"lbcast/internal/core"
+	"lbcast/internal/sim"
+)
+
+// Consensus is single-hop consensus composed over the abstract MAC layer,
+// in the spirit of Newport's "Consensus with an Abstract MAC Layer"
+// (PODC 2014, [20] in the paper): participants know nothing about the
+// network beyond their own id and communicate only through bcast/ack/recv.
+//
+// The algorithm is the min-id race variant: every node repeatedly
+// broadcasts its current preference tagged with the smallest owner id it
+// has seen; hearing a proposal with a smaller owner causes adoption. After
+// completing Cycles broadcasts, a node decides its preference.
+//
+//   - Validity: decided values are initial values (only initial values ever
+//     circulate).
+//   - Termination: deterministic — each node decides after Cycles
+//     acknowledged broadcasts (≤ Cycles·(f_ack + t_prog) rounds).
+//   - Agreement: probabilistic — if any broadcast by the minimum-id
+//     owner's current carrier reaches all nodes (probability ≥ 1−ε per the
+//     layer's reliability guarantee, amplified by repetition), every node
+//     converges to the same (owner, value) pair. Disagreement probability
+//     decays like ε^Cycles in a single-hop network.
+//
+// Consensus implements sim.Environment.
+type Consensus struct {
+	layers []Layer
+	cycles int
+
+	prefOwner []int
+	prefValue []any
+	sent      []int
+	decided   []bool
+	decision  []any
+	doneAt    int
+	round     int
+}
+
+var _ sim.Environment = (*Consensus)(nil)
+
+// proposal is the payload raced through the layer.
+type proposal struct {
+	Owner int
+	Value any
+}
+
+// NewConsensus wires the protocol over the per-node layers with the given
+// initial values (one per node). cycles ≥ 1 is the per-node broadcast
+// budget; larger values square away the disagreement probability.
+func NewConsensus(layers []Layer, initial []any, cycles int) (*Consensus, error) {
+	if len(initial) != len(layers) {
+		return nil, fmt.Errorf("amac: %d initial values for %d layers", len(initial), len(layers))
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	c := &Consensus{
+		layers:    layers,
+		cycles:    cycles,
+		prefOwner: make([]int, len(layers)),
+		prefValue: make([]any, len(layers)),
+		sent:      make([]int, len(layers)),
+		decided:   make([]bool, len(layers)),
+		decision:  make([]any, len(layers)),
+		doneAt:    -1,
+	}
+	for u := range layers {
+		c.prefOwner[u] = u
+		c.prefValue[u] = initial[u]
+		u := u
+		layers[u].SetOnRecv(func(m core.Message, _ int) {
+			p, ok := m.Payload.(proposal)
+			if !ok {
+				return
+			}
+			if p.Owner < c.prefOwner[u] {
+				c.prefOwner[u] = p.Owner
+				c.prefValue[u] = p.Value
+			}
+		})
+	}
+	return c, nil
+}
+
+// BeforeRound implements sim.Environment.
+func (c *Consensus) BeforeRound(t int) {
+	c.round = t
+	for u, layer := range c.layers {
+		if c.decided[u] || layer.Busy() {
+			continue
+		}
+		if c.sent[u] >= c.cycles {
+			c.decided[u] = true
+			c.decision[u] = c.prefValue[u]
+			if c.doneAt < 0 && c.allDecided() {
+				c.doneAt = t
+			}
+			continue
+		}
+		if _, err := layer.Bcast(proposal{Owner: c.prefOwner[u], Value: c.prefValue[u]}); err == nil {
+			c.sent[u]++
+		}
+	}
+}
+
+// AfterRound implements sim.Environment.
+func (c *Consensus) AfterRound(t int) { c.round = t }
+
+func (c *Consensus) allDecided() bool {
+	for _, d := range c.decided {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Done reports whether every node has decided, and the round at which the
+// last decision happened.
+func (c *Consensus) Done() (round int, done bool) {
+	if c.doneAt < 0 {
+		return 0, false
+	}
+	return c.doneAt, true
+}
+
+// Decision returns node u's decided value (ok=false before it decides).
+func (c *Consensus) Decision(u int) (any, bool) {
+	if !c.decided[u] {
+		return nil, false
+	}
+	return c.decision[u], true
+}
+
+// Agreement reports whether all decided nodes decided the same value, and
+// that value.
+func (c *Consensus) Agreement() (value any, agree bool) {
+	first := true
+	for u := range c.layers {
+		if !c.decided[u] {
+			continue
+		}
+		if first {
+			value, first = c.decision[u], false
+			continue
+		}
+		if c.decision[u] != value {
+			return nil, false
+		}
+	}
+	return value, !first
+}

@@ -1,0 +1,99 @@
+package amac
+
+import (
+	"sort"
+
+	"lbcast/internal/core"
+	"lbcast/internal/sim"
+)
+
+// Discovery is neighbor discovery composed over the abstract MAC layer, in
+// the style of Cornejo, Lynch, Viqar and Welch [5, 6]: every node
+// repeatedly broadcasts a hello beacon through the layer and records the
+// senders it hears. After each node has completed `Beacons` broadcasts, a
+// node's discovered set approximates its G neighborhood: the layer's
+// reliability guarantee says each beacon reaches all reliable neighbors
+// with probability ≥ 1−ε, so k beacons miss a reliable neighbor with
+// probability ≤ ε^k, while validity guarantees no false positives outside
+// the G′ neighborhood.
+//
+// Discovery implements sim.Environment.
+type Discovery struct {
+	layers []Layer
+	// Beacons is how many hello broadcasts each node performs (≥ 1).
+	beacons int
+
+	sent       []int
+	discovered []map[int]struct{}
+}
+
+var _ sim.Environment = (*Discovery)(nil)
+
+// helloPayload is a beacon; the sender travels in the message ID.
+type helloPayload struct{}
+
+// NewDiscovery wires a discovery protocol over the per-node layers.
+func NewDiscovery(layers []Layer, beacons int) *Discovery {
+	if beacons < 1 {
+		beacons = 1
+	}
+	d := &Discovery{
+		layers:     layers,
+		beacons:    beacons,
+		sent:       make([]int, len(layers)),
+		discovered: make([]map[int]struct{}, len(layers)),
+	}
+	for u := range layers {
+		d.discovered[u] = make(map[int]struct{})
+		u := u
+		layers[u].SetOnRecv(func(m core.Message, _ int) {
+			if _, ok := m.Payload.(helloPayload); ok {
+				d.discovered[u][m.ID.Src()] = struct{}{}
+			}
+		})
+	}
+	return d
+}
+
+// BeforeRound implements sim.Environment: idle nodes with beacon budget
+// left start the next hello.
+func (d *Discovery) BeforeRound(int) {
+	for u, layer := range d.layers {
+		if d.sent[u] >= d.beacons || layer.Busy() {
+			continue
+		}
+		if _, err := layer.Bcast(helloPayload{}); err == nil {
+			d.sent[u]++
+		}
+	}
+}
+
+// AfterRound implements sim.Environment.
+func (d *Discovery) AfterRound(int) {}
+
+// Done reports whether every node has finished its beacon budget (all
+// broadcasts issued and acknowledged).
+func (d *Discovery) Done() bool {
+	for u, layer := range d.layers {
+		if d.sent[u] < d.beacons || layer.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbors returns the sorted ids node u has discovered.
+func (d *Discovery) Neighbors(u int) []int {
+	out := make([]int, 0, len(d.discovered[u]))
+	for v := range d.discovered[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Knows reports whether u has discovered v.
+func (d *Discovery) Knows(u, v int) bool {
+	_, ok := d.discovered[u][v]
+	return ok
+}

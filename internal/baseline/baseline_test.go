@@ -1,0 +1,258 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+func TestDecayProbSchedule(t *testing.T) {
+	d := NewDecay(DecayParams{Delta: 16, AckRounds: 10})
+	// Cycle length log₂16 = 4: probabilities ½, ¼, ⅛, 1/16, then repeat.
+	want := []float64{0.5, 0.25, 0.125, 0.0625, 0.5, 0.25}
+	for i, w := range want {
+		if got := d.Prob(i + 1); math.Abs(got-w) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDecayLifecycle(t *testing.T) {
+	g, err := dualgraph.Abstract(2, []dualgraph.Edge{{U: 0, V: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []core.Service{
+		NewDecay(DecayParams{Delta: 2, AckRounds: 40}),
+		NewDecay(DecayParams{Delta: 2, AckRounds: 40}),
+	}
+	simProcs := []sim.Process{procs[0], procs[1]}
+	env := core.NewSingleShotEnv(procs, []core.Send{{Node: 0, Round: 1, Payload: "d"}})
+	e, err := sim.New(sim.Config{Dual: g, Procs: simProcs, Env: env, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(60)
+	tr := e.Trace()
+	if len(tr.ByKind(sim.EvBcast)) != 1 || len(tr.ByKind(sim.EvAck)) != 1 {
+		t.Fatalf("lifecycle events wrong: %d bcast, %d ack",
+			len(tr.ByKind(sim.EvBcast)), len(tr.ByKind(sim.EvAck)))
+	}
+	// With 40 active rounds at probability ≥ 1/2 every other round, the
+	// neighbor hears the message essentially surely.
+	got := false
+	for _, rv := range tr.ByKind(sim.EvRecv) {
+		if rv.Node == 1 {
+			got = true
+		}
+	}
+	if !got {
+		t.Error("neighbor never received from Decay sender")
+	}
+	// Ack exactly after AckRounds rounds of activity.
+	ack := tr.ByKind(sim.EvAck)[0]
+	bc := tr.ByKind(sim.EvBcast)[0]
+	if ack.Round-bc.Round+1 != 40 {
+		t.Errorf("ack after %d rounds, want 40", ack.Round-bc.Round+1)
+	}
+}
+
+func TestDecayRejectsSecondBcast(t *testing.T) {
+	g, err := dualgraph.Abstract(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDecay(DecayParams{Delta: 2, AckRounds: 5})
+	e, err := sim.New(sim.Config{Dual: g, Procs: []sim.Process{p}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1)
+	if _, err := p.Bcast("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Bcast("b"); err == nil {
+		t.Fatal("second bcast accepted")
+	}
+	if !p.Active() {
+		t.Error("not active after bcast")
+	}
+}
+
+func TestDecayAckRoundsFormula(t *testing.T) {
+	// Monotone in Δ and 1/ε, and ≥ logΔ.
+	if DecayAckRounds(16, 0.1) <= DecayAckRounds(4, 0.1) {
+		t.Error("AckRounds not monotone in Δ")
+	}
+	if DecayAckRounds(16, 0.01) <= DecayAckRounds(16, 0.1) {
+		t.Error("AckRounds not monotone in 1/ε")
+	}
+}
+
+func TestRoundRobinCollisionFree(t *testing.T) {
+	// A clique of 4 nodes all broadcasting: TDMA must deliver every message
+	// to every other node within one frame, with zero collisions.
+	var rel []dualgraph.Edge
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			rel = append(rel, dualgraph.Edge{U: i, V: j})
+		}
+	}
+	g, err := dualgraph.Abstract(4, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]core.Service, 4)
+	simProcs := make([]sim.Process, 4)
+	for u := range procs {
+		procs[u] = NewRoundRobin(RoundRobinParams{Slots: 4})
+		simProcs[u] = procs[u]
+	}
+	sends := make([]core.Send, 4)
+	for u := range sends {
+		sends[u] = core.Send{Node: u, Round: 1, Payload: u}
+	}
+	env := core.NewSingleShotEnv(procs, sends)
+	e, err := sim.New(sim.Config{Dual: g, Procs: simProcs, Env: env, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4)
+	tr := e.Trace()
+	if tr.Collisions != 0 {
+		t.Errorf("TDMA produced %d collisions", tr.Collisions)
+	}
+	recvs := tr.ByKind(sim.EvRecv)
+	// Each of 4 messages reaches the 3 other nodes.
+	if len(recvs) != 12 {
+		t.Errorf("%d recv events, want 12", len(recvs))
+	}
+	if len(tr.ByKind(sim.EvAck)) != 4 {
+		t.Errorf("%d acks, want 4", len(tr.ByKind(sim.EvAck)))
+	}
+}
+
+func TestRoundRobinSlotDiscipline(t *testing.T) {
+	g, err := dualgraph.Abstract(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewRoundRobin(RoundRobinParams{Slots: 3})
+	e, err := sim.New(sim.Config{Dual: g, Procs: []sim.Process{p}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e
+	if _, err := p.Bcast("x"); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 with 3 slots transmits exactly at rounds 1, 4, 7, …
+	for round := 1; round <= 9; round++ {
+		_, tx := p.Transmit(round)
+		want := (round-1)%3 == 0
+		if tx != want {
+			t.Errorf("round %d: transmit = %v, want %v", round, tx, want)
+		}
+	}
+}
+
+func TestRoundRobinLatencyScalesWithSlots(t *testing.T) {
+	// The globality critique: TDMA ack latency equals the frame length
+	// regardless of actual contention.
+	for _, slots := range []int{8, 64} {
+		g, err := dualgraph.Abstract(2, []dualgraph.Edge{{U: 0, V: 1}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := []core.Service{
+			NewRoundRobin(RoundRobinParams{Slots: slots}),
+			NewRoundRobin(RoundRobinParams{Slots: slots}),
+		}
+		env := core.NewSingleShotEnv(procs, []core.Send{{Node: 0, Round: 1, Payload: "x"}})
+		e, err := sim.New(sim.Config{Dual: g, Procs: []sim.Process{procs[0], procs[1]}, Env: env, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(slots + 2)
+		acks := e.Trace().ByKind(sim.EvAck)
+		if len(acks) != 1 {
+			t.Fatalf("slots=%d: %d acks", slots, len(acks))
+		}
+		if lat := acks[0].Round; lat != slots {
+			t.Errorf("slots=%d: ack at round %d, want %d", slots, lat, slots)
+		}
+	}
+}
+
+func TestChatterRate(t *testing.T) {
+	c := &Chatter{P: 0.3}
+	c.Init(&sim.NodeEnv{ID: 1, Rng: xrand.New(1), Rec: nopRec{}})
+	const rounds = 20000
+	tx := 0
+	for i := 1; i <= rounds; i++ {
+		if _, sent := c.Transmit(i); sent {
+			tx++
+		}
+	}
+	got := float64(tx) / rounds
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("chatter rate = %v, want 0.3", got)
+	}
+}
+
+type nopRec struct{}
+
+func (nopRec) Record(sim.Event) {}
+
+func TestDecayUnderAntiDecayScheduler(t *testing.T) {
+	// The §1 separation: with the anti-Decay oblivious scheduler aligned to
+	// Decay's cycle, a receiver surrounded by unreliable-link decoy senders
+	// makes much slower progress than under a benign scheduler.
+	d, err := dualgraph.StarWithDecoys(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s sim.LinkScheduler, seed uint64) int {
+		// Node 1 (reliable neighbor of 0) and all decoys broadcast.
+		procs := make([]core.Service, d.N())
+		simProcs := make([]sim.Process, d.N())
+		for u := range procs {
+			procs[u] = NewDecay(DecayParams{Delta: d.DeltaPrime(), AckRounds: 1 << 20})
+			simProcs[u] = procs[u]
+		}
+		senders := make([]int, 0, d.N()-1)
+		for u := 1; u < d.N(); u++ {
+			senders = append(senders, u)
+		}
+		env := core.NewSaturatingEnv(procs, senders)
+		e, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: s, Env: env, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const maxRounds = 4000
+		for r := 0; r < maxRounds; r++ {
+			e.Step()
+			for _, ev := range e.Trace().ByKind(sim.EvHear) {
+				if ev.Node == 0 {
+					return ev.Round
+				}
+			}
+		}
+		return maxRounds
+	}
+	cycle := 5 // log₂(Δ′=17→32) = 5
+	benign, hostile := 0, 0
+	const trials = 5
+	for i := uint64(0); i < trials; i++ {
+		benign += run(sched.Never{}, i)
+		hostile += run(sched.AntiDecay{CycleLen: cycle}, 100+i)
+	}
+	if hostile <= benign {
+		t.Errorf("anti-Decay did not hurt Decay: benign %d vs hostile %d total rounds", benign, hostile)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// Send schedules one bcast input: node Node receives bcast(Payload) at the
+// start of round Round.
+type Send struct {
+	Node    int
+	Round   int
+	Payload any
+}
+
+// SingleShotEnv issues a fixed schedule of bcast inputs. If a scheduled
+// input lands while its node is still broadcasting a previous message —
+// which the problem's environment well-formedness forbids — the input is
+// deferred round by round until the node's ack frees it.
+type SingleShotEnv struct {
+	procs  []Service
+	queue  []Send
+	issued int
+}
+
+// NewSingleShotEnv builds the environment over the node processes.
+func NewSingleShotEnv(procs []Service, sends []Send) *SingleShotEnv {
+	q := make([]Send, len(sends))
+	copy(q, sends)
+	return &SingleShotEnv{procs: procs, queue: q}
+}
+
+// BeforeRound implements sim.Environment.
+func (e *SingleShotEnv) BeforeRound(t int) {
+	remaining := e.queue[:0]
+	for _, s := range e.queue {
+		if s.Round > t {
+			remaining = append(remaining, s)
+			continue
+		}
+		if _, err := e.procs[s.Node].Bcast(s.Payload); err != nil {
+			// Node still busy: defer to the next round.
+			s.Round = t + 1
+			remaining = append(remaining, s)
+			continue
+		}
+		e.issued++
+	}
+	e.queue = remaining
+}
+
+// AfterRound implements sim.Environment.
+func (e *SingleShotEnv) AfterRound(int) {}
+
+// Issued returns how many bcast inputs have been accepted so far.
+func (e *SingleShotEnv) Issued() int { return e.issued }
+
+// Pending returns how many scheduled sends have not yet been accepted.
+func (e *SingleShotEnv) Pending() int { return len(e.queue) }
+
+// SaturatingEnv keeps a set of sender nodes permanently active: each sender
+// gets a bcast input at round 1 and a fresh one at the round after each
+// ack. This realises the progress experiments' premise of a reliable
+// neighbor that is "active throughout the entire span".
+type SaturatingEnv struct {
+	procs   []Service
+	senders []int
+	ready   map[int]bool
+	acks    map[int]int
+	seq     int
+}
+
+// NewSaturatingEnv builds the environment and hooks the senders' OnAck
+// callbacks. Senders must not have competing OnAck handlers.
+func NewSaturatingEnv(procs []Service, senders []int) *SaturatingEnv {
+	e := &SaturatingEnv{
+		procs:   procs,
+		senders: append([]int(nil), senders...),
+		ready:   make(map[int]bool, len(senders)),
+		acks:    make(map[int]int, len(senders)),
+	}
+	for _, s := range e.senders {
+		e.ready[s] = true
+		node := s
+		procs[s].SetOnAck(func(Message) {
+			e.acks[node]++
+			e.ready[node] = true
+		})
+	}
+	return e
+}
+
+// BeforeRound implements sim.Environment.
+func (e *SaturatingEnv) BeforeRound(t int) {
+	for _, s := range e.senders {
+		if !e.ready[s] {
+			continue
+		}
+		e.ready[s] = false
+		e.seq++
+		if _, err := e.procs[s].Bcast(fmt.Sprintf("sat-%d-%d", s, e.seq)); err != nil {
+			// Unreachable: ready is only set by the node's own ack.
+			e.ready[s] = true
+		}
+	}
+}
+
+// AfterRound implements sim.Environment.
+func (e *SaturatingEnv) AfterRound(int) {}
+
+// Acks returns the ack count observed for the given sender.
+func (e *SaturatingEnv) Acks(node int) int { return e.acks[node] }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"lbcast/internal/seedagree"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// Message is a payload in flight through the local broadcast service. IDs
+// encode the source, keeping the per-node message sets M_u pairwise
+// disjoint as the problem definition requires.
+type Message struct {
+	ID      sim.MsgID
+	Payload any
+}
+
+// DataMsg is the on-air frame of a body-round transmission.
+type DataMsg struct {
+	Msg Message
+}
+
+// State is an LBAlg node's phase-granular state.
+type State int
+
+const (
+	// StateReceiving nodes only listen during body rounds.
+	StateReceiving State = iota + 1
+	// StateSending nodes compete for the channel during body rounds.
+	StateSending
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateReceiving:
+		return "receiving"
+	case StateSending:
+		return "sending"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Service is the bcast/ack/recv interface of the LB problem, shared by
+// LBAlg and by the baseline algorithms it is compared against, so that
+// environments and experiment harnesses treat them interchangeably.
+type Service interface {
+	sim.Process
+	// Bcast accepts a bcast(m) input; it fails if the node is still
+	// broadcasting a previous message (environment well-formedness).
+	Bcast(payload any) (sim.MsgID, error)
+	// Active reports whether a broadcast is in progress (bcast accepted,
+	// ack not yet generated).
+	Active() bool
+	// SetOnAck and SetOnRecv register the output callbacks.
+	SetOnAck(func(Message))
+	SetOnRecv(func(Message, int))
+}
+
+// LBAlg is the local broadcast process at one node. It implements
+// sim.Process; the environment interacts with it through Bcast and the
+// OnAck/OnRecv callbacks, mirroring the bcast/ack/recv interface of the
+// LB(t_ack, t_prog, ε) problem.
+type LBAlg struct {
+	p   Params
+	env *sim.NodeEnv
+
+	seed      *seedagree.Alg
+	committed *xrand.BitString // this phase's committed seed (private clone)
+
+	state          State
+	pending        *Message // accepted bcast input not yet acknowledged
+	sendingStarted bool     // pending has entered its sending phases
+	phasesLeft     int      // full sending phases remaining for pending
+
+	seen map[sim.MsgID]struct{}
+	seq  int
+
+	// OnAck is invoked when an ack(m)_u output is generated (end of the
+	// last sending phase). Optional.
+	OnAck func(m Message)
+	// OnRecv is invoked on each recv(m)_u output: the first reception of a
+	// message. Optional.
+	OnRecv func(m Message, from int)
+	// RecordHears controls whether every channel-level data reception is
+	// recorded as an EvHear event (needed by the progress checker, which is
+	// defined over receptions rather than recv outputs). On by default;
+	// large sweeps that only need recv/ack events can disable it.
+	RecordHears bool
+
+	// participations and transmissions count body-round decisions, for the
+	// E-RECV-PROB instrumentation.
+	participations, transmissions int
+}
+
+var _ Service = (*LBAlg)(nil)
+
+// SetOnAck implements Service.
+func (l *LBAlg) SetOnAck(fn func(Message)) { l.OnAck = fn }
+
+// SetOnRecv implements Service.
+func (l *LBAlg) SetOnRecv(fn func(Message, int)) { l.OnRecv = fn }
+
+// NewLBAlg creates the process with the given derived parameters.
+func NewLBAlg(p Params) *LBAlg {
+	return &LBAlg{p: p, state: StateReceiving, seen: make(map[sim.MsgID]struct{}), RecordHears: true}
+}
+
+// Init implements sim.Process.
+func (l *LBAlg) Init(env *sim.NodeEnv) {
+	l.env = env
+	l.seed = seedagree.NewAlg(l.p.SeedParams, env.ID, env.Rng)
+}
+
+// Params returns the node's schedule parameters.
+func (l *LBAlg) Params() Params { return l.p }
+
+// State returns the node's current phase state.
+func (l *LBAlg) State() State { return l.state }
+
+// Active reports whether the node is actively broadcasting some message: a
+// bcast input was received whose ack has not yet been generated.
+func (l *LBAlg) Active() bool { return l.pending != nil }
+
+// ActiveMessage returns the message being broadcast, if Active.
+func (l *LBAlg) ActiveMessage() (Message, bool) {
+	if l.pending == nil {
+		return Message{}, false
+	}
+	return *l.pending, true
+}
+
+// Bcast accepts a bcast(m)_u input from the environment. Per the problem's
+// environment well-formedness, a second bcast may only be issued after the
+// previous one's ack; violations are rejected with an error.
+func (l *LBAlg) Bcast(payload any) (sim.MsgID, error) {
+	if l.pending != nil {
+		return 0, fmt.Errorf("core: node %d already broadcasting %v", l.env.ID, l.pending.ID)
+	}
+	l.seq++
+	m := Message{ID: sim.NewMsgID(l.env.ID, l.seq), Payload: payload}
+	l.pending = &m
+	l.sendingStarted = false
+	// Round 0 is stamped with the current round by the trace drain.
+	l.env.Rec.Record(sim.Event{Node: l.env.ID, Kind: sim.EvBcast, MsgID: m.ID, Payload: payload})
+	return m.ID, nil
+}
+
+// Transmit implements sim.Process.
+func (l *LBAlg) Transmit(t int) (any, bool) {
+	phase, pos := l.p.PhaseOf(t)
+
+	if pos == 0 {
+		l.beginPhase(phase)
+	}
+
+	if l.p.IsPreamble(pos) {
+		if l.runsPreamble(phase) {
+			return l.seed.Transmit(pos + 1)
+		}
+		// Section 4.2 variant: skipped preamble slots become body rounds.
+		return l.bodyRound()
+	}
+	return l.bodyRound()
+}
+
+// beginPhase performs start-of-phase bookkeeping: pending broadcasts enter
+// the sending state and the preamble state machine restarts.
+func (l *LBAlg) beginPhase(phase int) {
+	if l.pending != nil && !l.sendingStarted {
+		l.sendingStarted = true
+		l.state = StateSending
+		l.phasesLeft = l.p.Tack
+	}
+	if l.runsPreamble(phase) {
+		l.seed.Reset()
+		l.committed = nil
+	}
+}
+
+// runsPreamble reports whether seed agreement runs in the given phase
+// (always true for the paper's algorithm; every k-th phase under the
+// Section 4.2 ablation).
+func (l *LBAlg) runsPreamble(phase int) bool {
+	return (phase-1)%l.p.SeedEveryKPhases == 0
+}
+
+// bodyRound implements one body round. Every node holding a committed seed
+// consumes the round's shared bits — even pure receivers — so that all
+// holders of one owner's seed keep their cursors aligned no matter when
+// they enter the sending state. Senders then apply the three-step logic of
+// Section 4.2: group participation coin (K1 shared bits, participate iff
+// all zero), shared probability selection b ∈ [log Δ] (K2 shared bits), and
+// a private broadcast coin with probability 2^{−b}.
+func (l *LBAlg) bodyRound() (any, bool) {
+	if l.committed == nil {
+		return nil, false
+	}
+	v, ok := l.committed.Consume(l.p.K1)
+	if !ok {
+		return nil, false // κ sizing makes this unreachable; fail closed
+	}
+	if v != 0 {
+		return nil, false // non-participant round for this owner group
+	}
+	bv, ok := l.committed.Consume(l.p.K2)
+	if !ok {
+		return nil, false
+	}
+	if l.state != StateSending || l.pending == nil {
+		return nil, false
+	}
+	l.participations++
+	b := 1 + int(bv)%l.p.LogDelta
+	if l.env.Rng.Bits(b) != 0 {
+		return nil, false
+	}
+	l.transmissions++
+	return DataMsg{Msg: *l.pending}, true
+}
+
+// Receive implements sim.Process.
+func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
+	phase, pos := l.p.PhaseOf(t)
+
+	if l.p.IsPreamble(pos) && l.runsPreamble(phase) {
+		l.seed.Receive(pos+1, payload, ok)
+		if pos == l.p.Ts-1 {
+			l.commitSeed()
+		}
+		return
+	}
+
+	// Body rounds: all states deliver first receptions as recv outputs.
+	if ok {
+		if dm, isData := payload.(DataMsg); isData {
+			l.deliver(t, from, dm.Msg)
+		}
+	}
+
+	// End of phase: sending nodes consume one of their Tack phases.
+	if pos == l.p.PhaseLen()-1 && l.state == StateSending {
+		l.phasesLeft--
+		if l.phasesLeft <= 0 {
+			l.ack(t)
+		}
+	}
+}
+
+// commitSeed adopts this phase's seed agreement decision. Each node clones
+// the committed bit string so cursors advance independently while contents
+// stay identical within an owner group.
+func (l *LBAlg) commitSeed() {
+	l.seed.Finalize() // defensive; Receive at Ts already finalizes
+	d := l.seed.Decision()
+	c := d.Seed.Clone()
+	c.Reset()
+	l.committed = c
+}
+
+// deliver records the channel-level reception and generates the recv(m)_u
+// output on first reception.
+func (l *LBAlg) deliver(t, from int, m Message) {
+	if l.RecordHears {
+		l.env.Rec.Record(sim.Event{Round: t, Node: l.env.ID, Kind: sim.EvHear, From: from, MsgID: m.ID})
+	}
+	if _, dup := l.seen[m.ID]; dup {
+		return
+	}
+	l.seen[m.ID] = struct{}{}
+	l.env.Rec.Record(sim.Event{Round: t, Node: l.env.ID, Kind: sim.EvRecv, From: from, MsgID: m.ID})
+	if l.OnRecv != nil {
+		l.OnRecv(m, from)
+	}
+}
+
+// ack generates the ack(m)_u output and returns to the receiving state.
+func (l *LBAlg) ack(t int) {
+	m := *l.pending
+	l.pending = nil
+	l.sendingStarted = false
+	l.state = StateReceiving
+	l.env.Rec.Record(sim.Event{Round: t, Node: l.env.ID, Kind: sim.EvAck, MsgID: m.ID})
+	if l.OnAck != nil {
+		l.OnAck(m)
+	}
+}
+
+// BodyStats returns how many body rounds this node participated in and how
+// many it transmitted in (E-RECV-PROB instrumentation).
+func (l *LBAlg) BodyStats() (participations, transmissions int) {
+	return l.participations, l.transmissions
+}

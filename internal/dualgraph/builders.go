@@ -1,0 +1,215 @@
+package dualgraph
+
+import (
+	"fmt"
+	"math"
+
+	"lbcast/internal/geo"
+	"lbcast/internal/xrand"
+)
+
+// GreyPolicy decides, for each pair of vertices in the grey zone — distance
+// in (1, r] — whether the pair becomes a reliable edge, an unreliable edge,
+// or no edge. The model allows any of the three; different policies give
+// different stress profiles.
+type GreyPolicy int
+
+const (
+	// GreyUnreliable puts every grey-zone pair in E′ \ E (the adversary
+	// controls all of them). This is the hardest profile and the default.
+	GreyUnreliable GreyPolicy = iota + 1
+	// GreyNone leaves grey-zone pairs unconnected, yielding G = G′ (no
+	// unreliable links at all) — the classical reliable radio model.
+	GreyNone
+	// GreyReliable puts grey-zone pairs in E, also yielding G = G′ but
+	// with longer reliable reach.
+	GreyReliable
+	// GreyMixed assigns each grey-zone pair independently: unreliable with
+	// probability ⅔, reliable with probability ⅙, absent otherwise.
+	GreyMixed
+)
+
+// buildFromEmbedding derives (G, G′) from an embedding: pairs within
+// distance 1 are reliable (condition 1), grey-zone pairs follow the policy,
+// pairs beyond r are unconnected (condition 2).
+func buildFromEmbedding(emb []geo.Point, r float64, policy GreyPolicy, rng *xrand.Source) (*Dual, error) {
+	n := len(emb)
+	g, gp := NewGraph(n), NewGraph(n)
+	idx := geo.BuildRegionIndex(emb)
+	// Scan only region-local windows: any pair within distance r has grid
+	// coordinates differing by at most ceil(r/side)+1.
+	window := int32(math.Ceil(r/geo.RegionSide)) + 1
+	for u := 0; u < n; u++ {
+		ru := idx.Of[u]
+		for di := -window; di <= window; di++ {
+			for dj := -window; dj <= window; dj++ {
+				for _, v := range idx.Members[geo.RegionID{I: ru.I + di, J: ru.J + dj}] {
+					if v <= u {
+						continue
+					}
+					dist := geo.Dist(emb[u], emb[v])
+					switch {
+					case dist <= 1:
+						g.AddEdge(u, v)
+						gp.AddEdge(u, v)
+					case dist <= r:
+						switch policy {
+						case GreyUnreliable:
+							gp.AddEdge(u, v)
+						case GreyReliable:
+							g.AddEdge(u, v)
+							gp.AddEdge(u, v)
+						case GreyMixed:
+							switch f := rng.Float64(); {
+							case f < 2.0/3:
+								gp.AddEdge(u, v)
+							case f < 2.0/3+1.0/6:
+								g.AddEdge(u, v)
+								gp.AddEdge(u, v)
+							}
+						case GreyNone:
+							// no edge
+						default:
+							return nil, fmt.Errorf("dualgraph: unknown grey policy %d", policy)
+						}
+					}
+				}
+			}
+		}
+	}
+	return NewDual(g, gp, emb, r)
+}
+
+// RandomGeometric places n vertices uniformly at random in a w × h rectangle
+// and derives the dual graph from the embedding with the given grey policy.
+func RandomGeometric(n int, w, h, r float64, policy GreyPolicy, rng *xrand.Source) (*Dual, error) {
+	if n < 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("dualgraph: invalid geometry n=%d w=%v h=%v", n, w, h)
+	}
+	emb := make([]geo.Point, n)
+	for i := range emb {
+		emb[i] = geo.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return buildFromEmbedding(emb, r, policy, rng)
+}
+
+// SingleHopCluster places n vertices uniformly in a disc of diameter 1, so G
+// is a clique: the single-hop setting used for the progress and
+// acknowledgement experiments (a receiver surrounded by broadcasters).
+func SingleHopCluster(n int, r float64, rng *xrand.Source) (*Dual, error) {
+	emb := make([]geo.Point, n)
+	for i := range emb {
+		// Rejection-sample the unit-diameter disc centred at the origin.
+		for {
+			x, y := rng.Float64()-0.5, rng.Float64()-0.5
+			if x*x+y*y <= 0.25 {
+				emb[i] = geo.Point{X: x, Y: y}
+				break
+			}
+		}
+	}
+	return buildFromEmbedding(emb, r, GreyUnreliable, rng)
+}
+
+// TwoTierClusters builds k clusters of m vertices each. Every cluster has
+// diameter ≤ 1 (so it is a reliable clique) and consecutive clusters are
+// separated by a grey-zone gap in (1, r], so all inter-cluster links are
+// unreliable. This is the canonical dual graph stress topology: reliable
+// islands whose only interconnection the adversary controls.
+func TwoTierClusters(k, m int, r float64, rng *xrand.Source) (*Dual, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("dualgraph: invalid cluster shape k=%d m=%d", k, m)
+	}
+	if r <= 1 {
+		return nil, fmt.Errorf("dualgraph: TwoTierClusters needs r > 1 to host a grey gap, got r=%v", r)
+	}
+	// Cluster centres on a line, spaced so inter-cluster node distances fall
+	// in (1, r]: cluster radius ρ, spacing s with s-2ρ > 1 and s+2ρ ≤ r.
+	rho := math.Min(0.25, (r-1)/8)
+	spacing := 1 + 3*rho
+	emb := make([]geo.Point, 0, k*m)
+	for c := 0; c < k; c++ {
+		cx := float64(c) * spacing
+		for i := 0; i < m; i++ {
+			for {
+				x, y := (rng.Float64()-0.5)*2*rho, (rng.Float64()-0.5)*2*rho
+				if x*x+y*y <= rho*rho {
+					emb = append(emb, geo.Point{X: cx + x, Y: y})
+					break
+				}
+			}
+		}
+	}
+	return buildFromEmbedding(emb, r, GreyUnreliable, rng)
+}
+
+// Line places n vertices on a line with the given spacing. Spacing ≤ 1 gives
+// a connected multi-hop path in G (each vertex reliably reaches
+// ⌊1/spacing⌋ neighbors to each side); grey-zone pairs become unreliable.
+func Line(n int, spacing, r float64, rng *xrand.Source) (*Dual, error) {
+	if n < 0 || spacing <= 0 {
+		return nil, fmt.Errorf("dualgraph: invalid line n=%d spacing=%v", n, spacing)
+	}
+	emb := make([]geo.Point, n)
+	for i := range emb {
+		emb[i] = geo.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return buildFromEmbedding(emb, r, GreyUnreliable, rng)
+}
+
+// GridLattice places vertices on a √n × √n lattice with the given spacing,
+// the standard multi-hop mesh used by the abstract MAC layer experiments.
+func GridLattice(side int, spacing, r float64, rng *xrand.Source) (*Dual, error) {
+	if side <= 0 || spacing <= 0 {
+		return nil, fmt.Errorf("dualgraph: invalid lattice side=%d spacing=%v", side, spacing)
+	}
+	emb := make([]geo.Point, 0, side*side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			emb = append(emb, geo.Point{X: float64(i) * spacing, Y: float64(j) * spacing})
+		}
+	}
+	return buildFromEmbedding(emb, r, GreyUnreliable, rng)
+}
+
+// Abstract builds a non-geographic dual graph directly from edge lists, for
+// unit tests and adversarial shapes that need exact control of E and E′.
+// reliable ∪ unreliable must form a simple graph; unreliable edges listed in
+// reliable are rejected. The r-geographic check is skipped (Emb is nil).
+func Abstract(n int, reliable, unreliable []Edge) (*Dual, error) {
+	g, gp := NewGraph(n), NewGraph(n)
+	for _, e := range reliable {
+		g.AddEdge(int(e.U), int(e.V))
+		gp.AddEdge(int(e.U), int(e.V))
+	}
+	for _, e := range unreliable {
+		if g.HasEdge(int(e.U), int(e.V)) {
+			return nil, fmt.Errorf("dualgraph: edge {%d,%d} listed as both reliable and unreliable", e.U, e.V)
+		}
+		gp.AddEdge(int(e.U), int(e.V))
+	}
+	// Abstract graphs have no embedding; r is set to 1 (its minimum).
+	return NewDual(g, gp, nil, 1)
+}
+
+// StarWithDecoys builds the adversarial-progress shape from the paper's
+// introduction: a receiver (vertex 0) with one reliable neighbor (vertex 1,
+// the real sender) and nDecoys unreliable neighbors (vertices 2..) whose
+// links the adversary schedules. The decoys are mutually connected by
+// reliable edges so they form a legal single-hop cluster among themselves.
+func StarWithDecoys(nDecoys int) (*Dual, error) {
+	if nDecoys < 0 {
+		return nil, fmt.Errorf("dualgraph: negative decoy count %d", nDecoys)
+	}
+	n := 2 + nDecoys
+	var rel, unrel []Edge
+	rel = append(rel, Edge{U: 0, V: 1})
+	for i := 2; i < n; i++ {
+		unrel = append(unrel, Edge{U: 0, V: int32(i)})
+		rel = append(rel, Edge{U: 1, V: int32(i)})
+		for j := i + 1; j < n; j++ {
+			rel = append(rel, Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	return Abstract(n, rel, unrel)
+}

@@ -1,0 +1,296 @@
+// Package dualgraph implements the dual graph network model of Section 2 of
+// the paper: a pair (G, G′) over a common vertex set with E ⊆ E′, where E
+// holds the reliable links and E′ \ E the unreliable links, together with
+// the r-geographic embedding constraint and the degree bounds Δ and Δ′ that
+// processes are assumed to know.
+package dualgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"lbcast/internal/geo"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1 stored as sorted
+// adjacency lists.
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("dualgraph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicates are
+// ignored; callers construct graphs once and then treat them as immutable.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("dualgraph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = insertSorted(g.adj[u], int32(v))
+	g.adj[v] = insertSorted(g.adj[v], int32(u))
+}
+
+func insertSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	s := g.adj[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= int32(v) })
+	return i < len(s) && s[i] == int32(v)
+}
+
+// Neighbors returns u's adjacency list, sorted ascending. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Degree returns |N(u)| (u itself not included).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegreePlusOne returns max over u of |N(u) ∪ {u}|, the quantity the
+// paper's Δ and Δ′ bound. For the empty graph it returns 1 if there is at
+// least one vertex, else 0.
+func (g *Graph) MaxDegreePlusOne() int {
+	if g.n == 0 {
+		return 0
+	}
+	maxDeg := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg + 1
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Edges returns all edges, each once, ordered by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.EdgeCount())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for u := range g.adj {
+		c.adj[u] = append([]int32(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// BFSDist returns hop distances from src, with -1 for unreachable vertices.
+func (g *Graph) BFSDist(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest finite BFS distance over all pairs, and
+// whether the graph is connected. O(n·m); intended for test-scale graphs.
+func (g *Graph) Diameter() (int, bool) {
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.BFSDist(u) {
+			if d == -1 {
+				return 0, false
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, true
+}
+
+// Dual is a dual graph network (G, G′) with an optional plane embedding.
+// Invariant: E(G) ⊆ E(G′) and both graphs share the vertex set.
+type Dual struct {
+	G, Gp *Graph
+	// Emb is the plane embedding witnessing the r-geographic property;
+	// nil for abstract (non-geographic) dual graphs used in unit tests.
+	Emb []geo.Point
+	// R is the r parameter of the r-geographic property, ≥ 1.
+	R float64
+
+	unreliable []Edge // E′ \ E, ordered
+	uAdj       [][]unreliableArc
+}
+
+// unreliableArc is one endpoint's view of an unreliable edge.
+type unreliableArc struct {
+	peer int32
+	edge int32 // index into unreliable
+}
+
+// NewDual assembles and validates a dual graph. g and gp must have the same
+// vertex count and every edge of g must appear in gp. emb may be nil; if
+// given, it must have one point per vertex and witness the r-geographic
+// property for the supplied r.
+func NewDual(g, gp *Graph, emb []geo.Point, r float64) (*Dual, error) {
+	d := &Dual{G: g, Gp: gp, Emb: emb, R: r}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	d.index()
+	return d, nil
+}
+
+func (d *Dual) validate() error {
+	if d.G == nil || d.Gp == nil {
+		return fmt.Errorf("dualgraph: nil graph")
+	}
+	if d.G.N() != d.Gp.N() {
+		return fmt.Errorf("dualgraph: vertex count mismatch: G has %d, G' has %d", d.G.N(), d.Gp.N())
+	}
+	if d.R < 1 {
+		return fmt.Errorf("dualgraph: r = %v < 1", d.R)
+	}
+	for u := 0; u < d.G.N(); u++ {
+		for _, v := range d.G.Neighbors(u) {
+			if !d.Gp.HasEdge(u, int(v)) {
+				return fmt.Errorf("dualgraph: reliable edge {%d,%d} missing from G'", u, v)
+			}
+		}
+	}
+	if d.Emb != nil {
+		if len(d.Emb) != d.G.N() {
+			return fmt.Errorf("dualgraph: embedding has %d points for %d vertices", len(d.Emb), d.G.N())
+		}
+		if err := d.checkGeographic(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkGeographic verifies both r-geographic conditions:
+// d(u,v) ≤ 1 ⇒ {u,v} ∈ E, and d(u,v) > r ⇒ {u,v} ∉ E′.
+func (d *Dual) checkGeographic() error {
+	n := d.G.N()
+	// Condition 2 only needs existing E′ edges.
+	for u := 0; u < n; u++ {
+		for _, v := range d.Gp.Neighbors(u) {
+			if int32(u) < v && geo.Dist(d.Emb[u], d.Emb[v]) > d.R {
+				return fmt.Errorf("dualgraph: unreliable edge {%d,%d} spans %v > r=%v",
+					u, v, geo.Dist(d.Emb[u], d.Emb[v]), d.R)
+			}
+		}
+	}
+	// Condition 1 needs all close pairs; use the region grid to avoid O(n²).
+	idx := geo.BuildRegionIndex(d.Emb)
+	for u := 0; u < n; u++ {
+		ru := idx.Of[u]
+		for di := int32(-3); di <= 3; di++ {
+			for dj := int32(-3); dj <= 3; dj++ {
+				for _, v := range idx.Members[geo.RegionID{I: ru.I + di, J: ru.J + dj}] {
+					if v <= u {
+						continue
+					}
+					if geo.Dist(d.Emb[u], d.Emb[v]) <= 1 && !d.G.HasEdge(u, v) {
+						return fmt.Errorf("dualgraph: vertices %d,%d at distance %v ≤ 1 lack a reliable edge",
+							u, v, geo.Dist(d.Emb[u], d.Emb[v]))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// index precomputes the unreliable edge list and per-node incidence, the
+// structures the round engine consults when applying a link schedule.
+func (d *Dual) index() {
+	n := d.G.N()
+	d.uAdj = make([][]unreliableArc, n)
+	for u := 0; u < n; u++ {
+		for _, v := range d.Gp.Neighbors(u) {
+			if int32(u) < v && !d.G.HasEdge(u, int(v)) {
+				e := int32(len(d.unreliable))
+				d.unreliable = append(d.unreliable, Edge{U: int32(u), V: v})
+				d.uAdj[u] = append(d.uAdj[u], unreliableArc{peer: v, edge: e})
+				d.uAdj[v] = append(d.uAdj[v], unreliableArc{peer: int32(u), edge: e})
+			}
+		}
+	}
+}
+
+// N returns the number of vertices.
+func (d *Dual) N() int { return d.G.N() }
+
+// Delta returns Δ: the maximum over u of |N_G(u) ∪ {u}|.
+func (d *Dual) Delta() int { return d.G.MaxDegreePlusOne() }
+
+// DeltaPrime returns Δ′: the maximum over u of |N_G′(u) ∪ {u}|.
+func (d *Dual) DeltaPrime() int { return d.Gp.MaxDegreePlusOne() }
+
+// UnreliableEdges returns E′ \ E in a fixed order. The round engine and the
+// link schedulers use indices into this slice as the edge identifiers of the
+// link schedule. The returned slice must not be modified.
+func (d *Dual) UnreliableEdges() []Edge { return d.unreliable }
+
+// UnreliableIncidence returns, for node u, the (peer, edge index) pairs of
+// the unreliable edges incident to u. The returned slice must not be modified.
+func (d *Dual) UnreliableIncidence(u int) []unreliableArc { return d.uAdj[u] }
+
+// Peer and EdgeIndex expose unreliableArc fields to other packages.
+func (a unreliableArc) Peer() int32      { return a.peer }
+func (a unreliableArc) EdgeIndex() int32 { return a.edge }

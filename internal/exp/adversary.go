@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"fmt"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/seedagree"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E-ADV", Claim: "§1: fixed schedules are thwarted by an oblivious adversary; LBAlg is not", Run: runAdversarial})
+	register(Experiment{ID: "E-LOWER", Claim: "§1: progress needs Ω(logΔ), ack needs Ω(Δ)", Run: runLowerBounds})
+	register(Experiment{ID: "E-ADAPT", Claim: "[11]: adaptive schedulers kill progress", Run: runAdaptive})
+}
+
+// decayFirstHear builds a StarWithDecoys network where node 1 (reliable
+// neighbor of the target 0) and every decoy run Decay saturated, and
+// returns the round at which the target first hears anything.
+func decayFirstHear(d *dualgraph.Dual, s sim.LinkScheduler, seed uint64, maxRounds int) (int, error) {
+	procs := make([]core.Service, d.N())
+	simProcs := make([]sim.Process, d.N())
+	for u := range procs {
+		procs[u] = baseline.NewDecay(baseline.DecayParams{Delta: d.DeltaPrime(), AckRounds: maxRounds + 1})
+		simProcs[u] = procs[u]
+	}
+	env := core.NewSaturatingEnv(procs, senderRange(d.N())[1:])
+	e, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: s, Env: env, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return firstHearRound(e, 0, maxRounds), nil
+}
+
+// lbFirstHear is the LBAlg counterpart of decayFirstHear.
+func lbFirstHear(d *dualgraph.Dual, s sim.LinkScheduler, seed uint64, maxRounds int) (int, error) {
+	p, err := core.DeriveParams(d.Delta(), d.DeltaPrime(), 1, 0.2)
+	if err != nil {
+		return 0, err
+	}
+	net, err := buildLBNetwork(d, p, s, func(svcs []core.Service) sim.Environment {
+		return core.NewSaturatingEnv(svcs, senderRange(d.N())[1:])
+	}, seed, true)
+	if err != nil {
+		return 0, err
+	}
+	return firstHearRound(net.engine, 0, maxRounds), nil
+}
+
+// runAdversarial reproduces the introduction's separation: under the
+// anti-Decay oblivious schedule, Decay's progress collapses while LBAlg's
+// permuted schedules keep it polylogarithmic.
+func runAdversarial(size Size, seed uint64) (*Result, error) {
+	decoys := pick(size, []int{16, 64}, []int{16, 64, 256}, []int{16, 64, 256, 1024})
+	trials := pick(size, 3, 6, 12)
+	maxRounds := pick(size, 20000, 60000, 200000)
+
+	tbl := &stats.Table{
+		Title:   "E-ADV: first-reception latency at the target under benign vs anti-Decay oblivious scheduling",
+		Columns: []string{"decoys", "algorithm", "scheduler", "mean rounds", "max rounds"},
+		Notes: []string{
+			"StarWithDecoys: target 0, one reliable sender, unreliable decoy senders; all senders saturated",
+			"the adversary uses the leak-minimising split against Decay's fixed cycle (the §1 construction)",
+			"shape to reproduce: Decay's anti-decay latency grows ~linearly in decoy count (slope ≈ 1); LBAlg's stays polylog (slope ≈ 0)",
+		},
+	}
+	slopes := map[[2]string][]float64{}
+	var ks []float64
+	for _, k := range decoys {
+		d, err := dualgraph.StarWithDecoys(k)
+		if err != nil {
+			return nil, err
+		}
+		cycle := seedagree.Log2Ceil(d.DeltaPrime())
+		tuned := sched.TunedAntiDecay(k+1, cycle)
+		cases := []struct {
+			alg   string
+			sch   sim.LinkScheduler
+			run   func(*dualgraph.Dual, sim.LinkScheduler, uint64, int) (int, error)
+			label string
+		}{
+			{"decay", sched.Never{}, decayFirstHear, "benign"},
+			{"decay", tuned, decayFirstHear, "anti-decay"},
+			{"lbalg", sched.Never{}, lbFirstHear, "benign"},
+			{"lbalg", tuned, lbFirstHear, "anti-decay"},
+		}
+		ks = append(ks, float64(k))
+		for _, c := range cases {
+			var sum stats.Summary
+			for trial := 0; trial < trials; trial++ {
+				lat, err := c.run(d, c.sch, seed+uint64(trial)*31+uint64(k), maxRounds)
+				if err != nil {
+					return nil, err
+				}
+				sum.AddInt(lat)
+			}
+			tbl.AddRow(k, c.alg, c.label, sum.Mean(), sum.Max())
+			key := [2]string{c.alg, c.label}
+			slopes[key] = append(slopes[key], sum.Mean())
+		}
+	}
+	for _, key := range [][2]string{{"decay", "anti-decay"}, {"lbalg", "anti-decay"}} {
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+			"log–log slope of %s/%s latency vs decoys: %.2f",
+			key[0], key[1], stats.LogLogSlope(ks, slopes[key])))
+	}
+	return &Result{ID: "E-ADV", Claim: "§1 adversarial separation", Tables: []*stats.Table{tbl}}, nil
+}
+
+// runLowerBounds illustrates the two optimality arguments from the paper's
+// results discussion: symmetry breaking costs Ω(logΔ) rounds of progress
+// even without unreliable links, and a receiver with Δ broadcasting
+// neighbors cannot collect all messages in fewer than Δ rounds.
+func runLowerBounds(size Size, seed uint64) (*Result, error) {
+	deltas := pick(size, []int{4, 8, 16}, []int{4, 8, 16, 32}, []int{8, 16, 32, 64})
+	trials := pick(size, 4, 8, 16)
+	rng := xrand.New(seed)
+
+	progTbl := &stats.Table{
+		Title:   "E-LOWER(a): progress latency grows with logΔ (symmetry breaking)",
+		Columns: []string{"Delta", "mean first-hear rounds", "max"},
+		Notes:   []string{"single-hop clique, all nodes but the receiver saturated, no unreliable links"},
+	}
+	ackTbl := &stats.Table{
+		Title:   "E-LOWER(b): collecting Δ distinct messages takes ≥ Δ rounds",
+		Columns: []string{"Delta", "mean rounds to hear all", "ratio to Δ", "≥ Δ"},
+		Notes:   []string{"a receiver hears at most one message per round, so Δ is a hard floor"},
+	}
+	var xs, ys []float64
+	for _, delta := range deltas {
+		d, err := dualgraph.SingleHopCluster(delta+1, 1, rng)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.DeriveParams(d.Delta(), d.DeltaPrime(), 1, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		var first stats.Summary
+		var all stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			net, err := buildLBNetwork(d, p, sched.Never{}, func(svcs []core.Service) sim.Environment {
+				return core.NewSaturatingEnv(svcs, senderRange(delta))
+			}, seed+uint64(trial)*101+uint64(delta), true)
+			if err != nil {
+				return nil, err
+			}
+			receiver := delta // last node
+			maxRounds := 40 * p.PhaseLen()
+			heardAll, firstAt := heardAllRound(net.engine, receiver, delta, maxRounds)
+			first.AddInt(firstAt)
+			all.AddInt(heardAll)
+		}
+		progTbl.AddRow(delta, first.Mean(), first.Max())
+		ackTbl.AddRow(delta, all.Mean(), all.Mean()/float64(delta),
+			fmt.Sprintf("%v", all.Min() >= float64(delta)))
+		xs = append(xs, float64(delta))
+		ys = append(ys, first.Mean())
+	}
+	progTbl.Notes = append(progTbl.Notes, fmt.Sprintf(
+		"log–log slope of first-hear latency vs Δ: %.3f (≪ 1 expected: latency is polylog in Δ)",
+		stats.LogLogSlope(xs, ys)))
+	return &Result{ID: "E-LOWER", Claim: "§1 near-optimality", Tables: []*stats.Table{progTbl, ackTbl}}, nil
+}
+
+// heardAllRound steps the engine until the receiver has heard `want`
+// distinct sources, returning (that round, round of first hear).
+func heardAllRound(e *sim.Engine, receiver, want, maxRounds int) (allAt, firstAt int) {
+	seen := 0
+	sources := make(map[int]struct{}, want)
+	firstAt = maxRounds
+	for r := 0; r < maxRounds; r++ {
+		e.Step()
+		evs := e.Trace().Events
+		for ; seen < len(evs); seen++ {
+			ev := evs[seen]
+			if ev.Kind != sim.EvHear || ev.Node != receiver {
+				continue
+			}
+			if firstAt == maxRounds {
+				firstAt = ev.Round
+			}
+			sources[ev.MsgID.Src()] = struct{}{}
+			if len(sources) == want {
+				return ev.Round, firstAt
+			}
+		}
+	}
+	return maxRounds, firstAt
+}
+
+// runAdaptive contrasts the oblivious guarantee with the adaptive
+// impossibility of [11]: the same workload, with the scheduler upgraded to
+// see current-round transmissions, suppresses progress almost entirely.
+func runAdaptive(size Size, seed uint64) (*Result, error) {
+	decoys := pick(size, 8, 16, 32)
+	trials := pick(size, 3, 6, 10)
+	budgetPhases := pick(size, 10, 20, 40)
+
+	d, err := dualgraph.StarWithDecoys(decoys)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.DeriveParams(d.Delta(), d.DeltaPrime(), 1, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := budgetPhases * p.PhaseLen()
+
+	run := func(adaptive bool, seed uint64) (int, error) {
+		var s sim.LinkScheduler = sched.Random{P: 0.5, Seed: seed}
+		if adaptive {
+			a, err := sched.NewAdaptive(d, 0)
+			if err != nil {
+				return 0, err
+			}
+			s = a
+		}
+		// Node 1 runs LBAlg saturated toward target 0; decoys chatter.
+		procs := make([]sim.Process, d.N())
+		lb0, lb1 := core.NewLBAlg(p), core.NewLBAlg(p)
+		procs[0], procs[1] = lb0, lb1
+		for u := 2; u < d.N(); u++ {
+			procs[u] = &baseline.Chatter{P: 0.5}
+		}
+		env := core.NewSaturatingEnv([]core.Service{lb0, lb1}, []int{1})
+		e, err := sim.New(sim.Config{Dual: d, Procs: procs, Sched: s, Env: env, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		return firstHearRound(e, 0, maxRounds), nil
+	}
+
+	tbl := &stats.Table{
+		Title:   "E-ADAPT: oblivious vs adaptive link scheduler (impossibility of [11])",
+		Columns: []string{"scheduler", "trials", "mean first-hear rounds", "starved (hit budget)"},
+		Notes: []string{
+			fmt.Sprintf("StarWithDecoys(%d): LBAlg sender saturated; decoys chatter at p=½; budget %d rounds", decoys, maxRounds),
+			"the adaptive adversary sees each round's transmitters before choosing the topology — explicitly outside the model",
+		},
+	}
+	for _, adaptive := range []bool{false, true} {
+		var sum stats.Summary
+		starved := 0
+		for trial := 0; trial < trials; trial++ {
+			lat, err := run(adaptive, seed+uint64(trial)*977)
+			if err != nil {
+				return nil, err
+			}
+			sum.AddInt(lat)
+			if lat >= maxRounds {
+				starved++
+			}
+		}
+		name := "oblivious random½"
+		if adaptive {
+			name = "adaptive"
+		}
+		tbl.AddRow(name, trials, sum.Mean(), starved)
+	}
+	return &Result{ID: "E-ADAPT", Claim: "[11] adaptive impossibility", Tables: []*stats.Table{tbl}}, nil
+}

@@ -1,0 +1,164 @@
+// Package exp is the benchmark harness: one experiment per quantitative
+// claim of the paper, as inventoried in DESIGN.md §1/§4. Each experiment
+// runs seeded Monte-Carlo trials on the simulator and renders the tables
+// recorded in EXPERIMENTS.md. cmd/lbbench drives the registry; the root
+// bench_test.go wraps each experiment in a testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+)
+
+// Size selects the scale of an experiment run.
+type Size int
+
+const (
+	// SizeSmall is bench/CI scale: seconds per experiment.
+	SizeSmall Size = iota + 1
+	// SizeMedium is the default CLI scale.
+	SizeMedium
+	// SizeFull is the EXPERIMENTS.md publication scale.
+	SizeFull
+)
+
+// ParseSize converts a flag value.
+func ParseSize(s string) (Size, error) {
+	switch s {
+	case "small":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	case "full":
+		return SizeFull, nil
+	default:
+		return 0, fmt.Errorf("exp: unknown size %q (small|medium|full)", s)
+	}
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Claim  string
+	Tables []*stats.Table
+}
+
+// Experiment couples a claim with the code that regenerates it.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E-PROG").
+	ID string
+	// Claim names the paper statement being reproduced.
+	Claim string
+	// Run executes the experiment at the given size with the given seed.
+	Run func(size Size, seed uint64) (*Result, error)
+}
+
+// registry holds the experiments in DESIGN.md order.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in registration (DESIGN.md) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// --- shared plumbing -------------------------------------------------------
+
+// lbNetwork is an assembled LBAlg deployment ready to run.
+type lbNetwork struct {
+	engine *sim.Engine
+	procs  []*core.LBAlg
+	svcs   []core.Service
+	params core.Params
+}
+
+// buildLBNetwork wires LBAlg over a dual graph. envFn may be nil.
+func buildLBNetwork(d *dualgraph.Dual, p core.Params, s sim.LinkScheduler,
+	envFn func([]core.Service) sim.Environment, seed uint64, recordHears bool) (*lbNetwork, error) {
+
+	procs := make([]*core.LBAlg, d.N())
+	simProcs := make([]sim.Process, d.N())
+	svcs := make([]core.Service, d.N())
+	for u := range procs {
+		procs[u] = core.NewLBAlg(p)
+		procs[u].RecordHears = recordHears
+		simProcs[u] = procs[u]
+		svcs[u] = procs[u]
+	}
+	var env sim.Environment
+	if envFn != nil {
+		env = envFn(svcs)
+	}
+	e, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: s, Env: env, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &lbNetwork{engine: e, procs: procs, svcs: svcs, params: p}, nil
+}
+
+// firstHearRound runs the engine until the given node hears any data
+// message, returning the round (or maxRounds if it never does). It scans
+// only newly appended events each step.
+func firstHearRound(e *sim.Engine, node, maxRounds int) int {
+	seen := 0
+	for r := 0; r < maxRounds; r++ {
+		e.Step()
+		evs := e.Trace().Events
+		for ; seen < len(evs); seen++ {
+			ev := evs[seen]
+			if ev.Kind == sim.EvHear && ev.Node == node {
+				return ev.Round
+			}
+		}
+	}
+	return maxRounds
+}
+
+// senderRange returns [0, k) as a slice.
+func senderRange(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// pick returns small/medium/full values by size.
+func pick[T any](size Size, small, medium, full T) T {
+	switch size {
+	case SizeMedium:
+		return medium
+	case SizeFull:
+		return full
+	default:
+		return small
+	}
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"E-SEED-DELTA", "E-SEED-TIME", "E-SEED-SPEC",
+		"E-PROG", "E-ACK", "E-RECV-PROB", "E-DET",
+		"E-ADV", "E-LOWER", "E-ADAPT",
+		"E-LOCAL", "E-REGION", "E-AMAC",
+		"E-ABL-FREQ", "E-CONST",
+		"E-MMB", "E-CONSENSUS",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("E-NOPE"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() returned %d entries", len(IDs()))
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for s, want := range map[string]Size{"small": SizeSmall, "medium": SizeMedium, "full": SizeFull} {
+		got, err := ParseSize(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize accepted junk")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(SizeSmall, 1, 2, 3) != 1 || pick(SizeMedium, 1, 2, 3) != 2 || pick(SizeFull, 1, 2, 3) != 3 {
+		t.Error("pick returned wrong preset")
+	}
+}
+
+func TestSenderRange(t *testing.T) {
+	got := senderRange(3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("senderRange(3) = %v", got)
+	}
+}
+
+// TestAllExperimentsSmall executes the entire suite at small size: every
+// claim reproduction must run end to end and render non-empty tables.
+// This is the repository's main integration test.
+func TestAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(SizeSmall, 1)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q ≠ experiment ID %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %q is empty", tbl.Title)
+				}
+				if !strings.Contains(tbl.String(), "##") {
+					t.Errorf("table %q renders without a title", tbl.Title)
+				}
+			}
+		})
+	}
+}

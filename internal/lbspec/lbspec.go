@@ -1,0 +1,313 @@
+// Package lbspec checks executions against the LB(t_ack, t_prog, ε)
+// problem specification of Section 4.1:
+//
+//   - Timely Acknowledgement (deterministic): every bcast(m)_u is followed
+//     by exactly one ack(m)_u within t_ack rounds.
+//   - Validity (deterministic): every recv(m)_u happens in a round where
+//     some G′ neighbor of u is actively broadcasting m.
+//   - Reliability (probabilistic): with probability ≥ 1−ε, every reliable
+//     neighbor of a broadcaster receives the message before the ack.
+//   - Progress (probabilistic): with probability ≥ 1−ε, a node whose
+//     reliable neighbor is active throughout a t_prog-round phase receives
+//     at least one message during that phase.
+//
+// The two deterministic conditions must hold with zero violations in every
+// trace; the probabilistic ones are estimated as success rates over
+// (broadcast) and (node, phase) populations respectively.
+package lbspec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sim"
+)
+
+// Span is one active-broadcast interval of a node: from the round of the
+// bcast input through the round whose end carried the ack output. An
+// unacknowledged broadcast at trace end has End = trace.RoundsRun and
+// Completed = false.
+type Span struct {
+	Msg       sim.MsgID
+	Node      int
+	Start     int
+	End       int
+	Completed bool
+}
+
+// Report is the outcome of checking one trace.
+type Report struct {
+	// Violations of the deterministic conditions; empty means the trace
+	// satisfies Timely Acknowledgement and Validity everywhere.
+	Violations []string
+
+	// Broadcasts counts completed broadcasts (bcast with matching ack).
+	Broadcasts int
+	// ReliableSuccesses counts completed broadcasts whose every reliable
+	// neighbor produced the recv output before the ack.
+	ReliableSuccesses int
+
+	// ProgressOpportunities counts (node, phase) pairs where some reliable
+	// neighbor was active throughout the phase; ProgressSuccesses counts
+	// those where the node heard at least one message during the phase.
+	ProgressOpportunities int
+	ProgressSuccesses     int
+
+	// Per-node accounting for the locality experiments.
+	OppsByNode, SuccByNode []int
+
+	// AckLatencies are the observed bcast→ack round counts.
+	AckLatencies []int
+	// FirstRecvLatencies are, per completed broadcast, the rounds from
+	// bcast until the last reliable neighbor's recv (only for reliable
+	// successes).
+	FirstRecvLatencies []int
+}
+
+// ReliabilityRate returns the fraction of completed broadcasts delivered to
+// all reliable neighbors before the ack (1 if there were none).
+func (r *Report) ReliabilityRate() float64 {
+	if r.Broadcasts == 0 {
+		return 1
+	}
+	return float64(r.ReliableSuccesses) / float64(r.Broadcasts)
+}
+
+// ProgressRate returns the fraction of progress opportunities that
+// succeeded (1 if there were none).
+func (r *Report) ProgressRate() float64 {
+	if r.ProgressOpportunities == 0 {
+		return 1
+	}
+	return float64(r.ProgressSuccesses) / float64(r.ProgressOpportunities)
+}
+
+// Err returns an error summarising deterministic violations, or nil.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	show := r.Violations
+	const maxShow = 5
+	suffix := ""
+	if len(show) > maxShow {
+		suffix = fmt.Sprintf(" (and %d more)", len(show)-maxShow)
+		show = show[:maxShow]
+	}
+	return fmt.Errorf("lbspec: %d violations: %s%s", len(r.Violations), strings.Join(show, "; "), suffix)
+}
+
+// Check verifies the trace of an execution over the given dual graph
+// against LB(tack, tprog, ·).
+func Check(d *dualgraph.Dual, tr *sim.Trace, tack, tprog int) *Report {
+	rep := &Report{
+		OppsByNode: make([]int, d.N()),
+		SuccByNode: make([]int, d.N()),
+	}
+
+	spans := collectSpans(tr, rep)
+	checkTimelyAck(tr, spans, tack, rep)
+	checkValidityAndReliability(d, tr, spans, rep)
+	checkProgress(d, tr, spans, tprog, rep)
+	return rep
+}
+
+// collectSpans pairs bcast and ack events into active spans.
+func collectSpans(tr *sim.Trace, rep *Report) map[sim.MsgID]*Span {
+	spans := make(map[sim.MsgID]*Span)
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case sim.EvBcast:
+			if _, dup := spans[ev.MsgID]; dup {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("duplicate bcast of %v", ev.MsgID))
+				continue
+			}
+			spans[ev.MsgID] = &Span{Msg: ev.MsgID, Node: ev.Node, Start: ev.Round, End: tr.RoundsRun}
+		case sim.EvAck:
+			sp, ok := spans[ev.MsgID]
+			if !ok {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("ack of never-broadcast %v at round %d", ev.MsgID, ev.Round))
+				continue
+			}
+			if sp.Completed {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("second ack of %v at round %d", ev.MsgID, ev.Round))
+				continue
+			}
+			if ev.Node != sp.Node {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("ack of %v by node %d, broadcast by %d", ev.MsgID, ev.Node, sp.Node))
+			}
+			sp.End = ev.Round
+			sp.Completed = true
+		}
+	}
+	return spans
+}
+
+// checkTimelyAck enforces the deterministic acknowledgement deadline for
+// every broadcast whose deadline lies within the executed rounds.
+func checkTimelyAck(tr *sim.Trace, spans map[sim.MsgID]*Span, tack int, rep *Report) {
+	ordered := make([]*Span, 0, len(spans))
+	for _, sp := range spans {
+		ordered = append(ordered, sp)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for _, sp := range ordered {
+		if sp.Completed {
+			rep.Broadcasts++
+			lat := sp.End - sp.Start
+			rep.AckLatencies = append(rep.AckLatencies, lat)
+			if lat > tack {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("ack of %v after %d rounds > t_ack=%d", sp.Msg, lat, tack))
+			}
+			continue
+		}
+		if sp.Start+tack <= tr.RoundsRun {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("no ack of %v within t_ack=%d (bcast at %d, ran %d rounds)",
+					sp.Msg, tack, sp.Start, tr.RoundsRun))
+		}
+	}
+}
+
+// checkValidityAndReliability walks recv events once for both conditions.
+func checkValidityAndReliability(d *dualgraph.Dual, tr *sim.Trace, spans map[sim.MsgID]*Span, rep *Report) {
+	// recvRound[msg][node] = round of the (unique) recv output.
+	recvRound := make(map[sim.MsgID]map[int]int)
+	for _, ev := range tr.Events {
+		if ev.Kind != sim.EvRecv && ev.Kind != sim.EvHear {
+			continue
+		}
+		sp, known := spans[ev.MsgID]
+		if !known {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%v of unknown message %v at node %d", ev.Kind, ev.MsgID, ev.Node))
+			continue
+		}
+		// Validity: the broadcaster must be a G′ neighbor actively
+		// broadcasting the message in this round.
+		if ev.Round < sp.Start || ev.Round > sp.End {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%v of %v at node %d in round %d outside active span [%d,%d]",
+					ev.Kind, ev.MsgID, ev.Node, ev.Round, sp.Start, sp.End))
+		}
+		if !d.Gp.HasEdge(ev.Node, sp.Node) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%v of %v at node %d from non-G′-neighbor %d",
+					ev.Kind, ev.MsgID, ev.Node, sp.Node))
+		}
+		if ev.Kind == sim.EvRecv {
+			m, ok := recvRound[ev.MsgID]
+			if !ok {
+				m = make(map[int]int)
+				recvRound[ev.MsgID] = m
+			}
+			if _, dup := m[ev.Node]; dup {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("duplicate recv of %v at node %d", ev.MsgID, ev.Node))
+			} else {
+				m[ev.Node] = ev.Round
+			}
+		}
+	}
+
+	// Reliability over completed broadcasts.
+	for _, sp := range spans {
+		if !sp.Completed {
+			continue
+		}
+		got := recvRound[sp.Msg]
+		allBefore := true
+		worst := 0
+		for _, v := range d.G.Neighbors(sp.Node) {
+			round, ok := got[int(v)]
+			if !ok || round > sp.End {
+				allBefore = false
+				break
+			}
+			if lat := round - sp.Start; lat > worst {
+				worst = lat
+			}
+		}
+		if allBefore {
+			rep.ReliableSuccesses++
+			rep.FirstRecvLatencies = append(rep.FirstRecvLatencies, worst)
+		}
+	}
+}
+
+// checkProgress evaluates the (node, phase) progress grid: phases are the
+// consecutive t_prog-round windows from round 1.
+func checkProgress(d *dualgraph.Dual, tr *sim.Trace, spans map[sim.MsgID]*Span, tprog int, rep *Report) {
+	if tprog <= 0 || tr.RoundsRun < tprog {
+		return
+	}
+	numPhases := tr.RoundsRun / tprog
+
+	// spansByNode[v] = v's active spans.
+	spansByNode := make(map[int][]*Span)
+	for _, sp := range spans {
+		spansByNode[sp.Node] = append(spansByNode[sp.Node], sp)
+	}
+	// activeAll[v][i] = v active throughout phase i (1-based).
+	activeAll := make(map[int][]bool)
+	for v, list := range spansByNode {
+		flags := make([]bool, numPhases+1)
+		for _, sp := range list {
+			// Unacknowledged spans only count while genuinely active;
+			// End is clamped to RoundsRun already.
+			for i := 1; i <= numPhases; i++ {
+				s, e := (i-1)*tprog+1, i*tprog
+				if sp.Start <= s && sp.End >= e {
+					flags[i] = true
+				}
+			}
+		}
+		activeAll[v] = flags
+	}
+
+	// heard[u][i] = u heard some active message in phase i.
+	heard := make(map[int][]bool)
+	for _, ev := range tr.Events {
+		if ev.Kind != sim.EvHear {
+			continue
+		}
+		i := (ev.Round-1)/tprog + 1
+		if i > numPhases {
+			continue
+		}
+		flags, ok := heard[ev.Node]
+		if !ok {
+			flags = make([]bool, numPhases+1)
+			heard[ev.Node] = flags
+		}
+		flags[i] = true
+	}
+
+	for u := 0; u < d.N(); u++ {
+		for i := 1; i <= numPhases; i++ {
+			opportunity := false
+			for _, v := range d.G.Neighbors(u) {
+				if flags, ok := activeAll[int(v)]; ok && flags[i] {
+					opportunity = true
+					break
+				}
+			}
+			if !opportunity {
+				continue
+			}
+			rep.ProgressOpportunities++
+			rep.OppsByNode[u]++
+			if flags, ok := heard[u]; ok && flags[i] {
+				rep.ProgressSuccesses++
+				rep.SuccByNode[u]++
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package sched provides link schedulers for the dual graph model: the
+// adversarial entity that decides, for every round t, which unreliable edges
+// (E′ \ E) join the communication topology G_t.
+//
+// The paper's guarantees assume an oblivious scheduler — the whole schedule
+// G = G₁, G₂, … is fixed before the execution starts. Every scheduler here
+// except Adaptive is oblivious: Included(t, edge) is a pure function of its
+// arguments. Adaptive implements the stronger adversary of [11] (Ghaffari,
+// Lynch, Newport, PODC 2013) used by the E-ADAPT ablation to reproduce the
+// result that efficient progress is impossible against adaptivity.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"lbcast/internal/dualgraph"
+)
+
+// Never excludes every unreliable edge in every round: communication happens
+// on G alone. The least adversarial oblivious schedule.
+type Never struct{}
+
+// Included implements sim.LinkScheduler.
+func (Never) Included(int, int) bool { return false }
+
+// Always includes every unreliable edge in every round: communication
+// happens on G′ in full. Maximum steady contention.
+type Always struct{}
+
+// Included implements sim.LinkScheduler.
+func (Always) Included(int, int) bool { return true }
+
+// Random includes each unreliable edge independently with probability P in
+// each round. The schedule is a deterministic hash of (Seed, t, edge), so it
+// is oblivious: re-querying never changes an answer and the execution's coin
+// flips cannot influence it.
+type Random struct {
+	P    float64
+	Seed uint64
+}
+
+// Included implements sim.LinkScheduler.
+func (s Random) Included(t, edge int) bool {
+	if s.P <= 0 {
+		return false
+	}
+	if s.P >= 1 {
+		return true
+	}
+	h := mix3(s.Seed, uint64(t), uint64(edge))
+	return float64(h>>11)/(1<<53) < s.P
+}
+
+// Periodic includes all unreliable edges during the first OnRounds rounds of
+// every Period-round cycle and none otherwise. Captures bursty interference
+// (e.g. a periodic co-located transmitter).
+type Periodic struct {
+	Period   int
+	OnRounds int
+}
+
+// Included implements sim.LinkScheduler.
+func (s Periodic) Included(t, _ int) bool {
+	if s.Period <= 0 {
+		return false
+	}
+	return ((t-1)%s.Period+s.Period)%s.Period < s.OnRounds
+}
+
+// AntiDecay is the oblivious adversary sketched in the paper's introduction:
+// it knows that a fixed-schedule protocol (Decay, [2]) cycles through
+// geometrically decreasing broadcast probabilities with cycle length
+// CycleLen, and it inflates contention exactly when the protocol's broadcast
+// probability is high — including every unreliable edge during the first
+// half of each cycle — and deflates it (excluding all of them) when the
+// probability is low. Because the protocol's schedule is fixed and known,
+// this adversary is legally oblivious, yet it defeats the fixed schedule;
+// LBAlg's seed-permuted schedules are immune by design.
+type AntiDecay struct {
+	// CycleLen is the length of the target protocol's probability cycle,
+	// typically log₂ Δ.
+	CycleLen int
+	// Offset shifts the adversary's cycle relative to round 1, so tests can
+	// align or misalign it with the victim protocol.
+	Offset int
+	// OnPositions is how many leading cycle positions (the high-probability
+	// ones) get every unreliable edge included. Zero selects the naive half
+	// split; TunedAntiDecay computes the leak-minimising split instead.
+	OnPositions int
+}
+
+// Included implements sim.LinkScheduler.
+func (s AntiDecay) Included(t, _ int) bool {
+	if s.CycleLen <= 0 {
+		return false
+	}
+	on := s.OnPositions
+	if on <= 0 {
+		on = (s.CycleLen + 1) / 2
+	}
+	pos := ((t-1+s.Offset)%s.CycleLen + s.CycleLen) % s.CycleLen
+	return pos < on
+}
+
+// TunedAntiDecay builds the adversary with the split that minimises the
+// victim's per-cycle delivery probability, given the number of saturated
+// senders around the target. At cycle position pos every sender transmits
+// with probability p = 2^{−(1+pos)}:
+//
+//   - included positions leak via "exactly one of the k connected senders
+//     transmits": k·p·(1−p)^{k−1};
+//   - excluded positions leave only the one reliable sender connected and
+//     leak exactly p.
+//
+// The optimal split keeps links included while contention is high enough
+// that the exactly-one event is rarer than the lone-sender event, which is
+// what drives the victim's first-reception time to Θ(k/log k) cycles — the
+// Θ̃(Δ) collapse the paper's introduction describes — while seed-permuted
+// schedules are unaffected.
+func TunedAntiDecay(senders, cycleLen int) AntiDecay {
+	best, bestLeak := (cycleLen+1)/2, math.Inf(1)
+	for split := 0; split <= cycleLen; split++ {
+		leak := 0.0
+		for pos := 0; pos < cycleLen; pos++ {
+			p := math.Pow(2, -float64(1+pos))
+			if pos < split {
+				leak += float64(senders) * p * math.Pow(1-p, float64(senders-1))
+			} else {
+				leak += p
+			}
+		}
+		if leak < bestLeak {
+			best, bestLeak = split, leak
+		}
+	}
+	return AntiDecay{CycleLen: cycleLen, OnPositions: best}
+}
+
+// Adaptive is the non-oblivious adversary of the E-ADAPT ablation. It
+// watches the transmit decisions of the current round — power the dual
+// graph model explicitly denies its link scheduler — and suppresses
+// deliveries at a single target node: whenever exactly one reliable
+// neighbor of the target transmits (a round that would otherwise deliver),
+// it includes one unreliable edge to a transmitting decoy, manufacturing a
+// collision. When no delivery is threatened it includes nothing, starving
+// the target entirely.
+type Adaptive struct {
+	target       int
+	reliableNbrs []int32
+	// incident[edge] = peer node for unreliable edges touching target.
+	incident map[int]int32
+
+	curRound   int
+	chosenEdge int
+}
+
+// NewAdaptive builds an adaptive adversary against the given target node.
+func NewAdaptive(d *dualgraph.Dual, target int) (*Adaptive, error) {
+	if target < 0 || target >= d.N() {
+		return nil, fmt.Errorf("sched: target %d out of range [0,%d)", target, d.N())
+	}
+	a := &Adaptive{
+		target:       target,
+		reliableNbrs: d.G.Neighbors(target),
+		incident:     make(map[int]int32),
+		chosenEdge:   -1,
+	}
+	for _, arc := range d.UnreliableIncidence(target) {
+		a.incident[int(arc.EdgeIndex())] = arc.Peer()
+	}
+	return a, nil
+}
+
+// ObserveTransmitters implements sim.TransmitterAware: the engine reveals
+// the round's transmit decisions before querying Included.
+func (a *Adaptive) ObserveTransmitters(t int, transmitting []bool) {
+	a.curRound = t
+	a.chosenEdge = -1
+	reliableTx := 0
+	for _, v := range a.reliableNbrs {
+		if transmitting[v] {
+			reliableTx++
+		}
+	}
+	if reliableTx != 1 {
+		// Zero transmitters: silence; two or more: already a collision.
+		return
+	}
+	for edge, peer := range a.incident {
+		if transmitting[peer] {
+			a.chosenEdge = edge
+			return
+		}
+	}
+}
+
+// Included implements sim.LinkScheduler.
+func (a *Adaptive) Included(t, edge int) bool {
+	return t == a.curRound && edge == a.chosenEdge
+}
+
+// mix3 hashes three words with SplitMix64-style finalisation.
+func mix3(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9 ^ c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/xrand"
+)
+
+// Driver selects how the engine executes the (identical) round semantics.
+type Driver int
+
+const (
+	// DriverSequential executes nodes one after another in a single
+	// goroutine. The reference implementation.
+	DriverSequential Driver = iota + 1
+	// DriverWorkerPool fans node steps out over a bounded worker pool,
+	// with barriers between the transmit and receive phases.
+	DriverWorkerPool
+	// DriverGoroutinePerNode runs every simulated process as its own
+	// goroutine — the natural Go rendering of "one process per device" —
+	// synchronised by per-round barriers.
+	DriverGoroutinePerNode
+)
+
+// Config assembles an execution: the paper's "configuration" is a dual
+// graph, a process assignment, a link scheduler and an environment; the
+// seed resolves the processes' coin flips.
+type Config struct {
+	Dual  *dualgraph.Dual
+	Procs []Process
+	// Sched may be nil: no unreliable edges are ever included.
+	Sched LinkScheduler
+	// Env may be nil: no environment inputs or outputs.
+	Env Environment
+	// Seed derives every node's private randomness stream.
+	Seed uint64
+	// Driver defaults to DriverSequential.
+	Driver Driver
+	// Workers bounds DriverWorkerPool concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Trace may be nil; a fresh Trace is then created.
+	Trace *Trace
+}
+
+// Engine executes rounds of a configuration.
+type Engine struct {
+	dual   *dualgraph.Dual
+	procs  []Process
+	sched  LinkScheduler
+	env    Environment
+	driver Driver
+	wrk    int
+	trace  *Trace
+
+	round int // last executed round; rounds are 1-indexed as in the paper
+
+	// Per-round scratch, reused across rounds.
+	payloads []any
+	transmit []bool
+	included []bool // unreliable edge inclusion mask for the current round
+	rxFrom   []int32
+	rxOK     []bool
+	recs     []nodeRecorder
+
+	// Goroutine-per-node driver state.
+	nodeCmd  []chan nodeCommand
+	nodeDone chan struct{}
+}
+
+type nodeCommand int
+
+const (
+	cmdTransmit nodeCommand = iota + 1
+	cmdReceive
+	cmdStop
+)
+
+// New validates the configuration and prepares an engine positioned before
+// round 1.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Dual == nil {
+		return nil, fmt.Errorf("sim: Config.Dual is nil")
+	}
+	if len(cfg.Procs) != cfg.Dual.N() {
+		return nil, fmt.Errorf("sim: %d processes for %d vertices", len(cfg.Procs), cfg.Dual.N())
+	}
+	driver := cfg.Driver
+	if driver == 0 {
+		driver = DriverSequential
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	trace := cfg.Trace
+	if trace == nil {
+		trace = &Trace{}
+	}
+	n := cfg.Dual.N()
+	e := &Engine{
+		dual:     cfg.Dual,
+		procs:    cfg.Procs,
+		sched:    cfg.Sched,
+		env:      cfg.Env,
+		driver:   driver,
+		wrk:      workers,
+		trace:    trace,
+		payloads: make([]any, n),
+		transmit: make([]bool, n),
+		included: make([]bool, len(cfg.Dual.UnreliableEdges())),
+		rxFrom:   make([]int32, n),
+		rxOK:     make([]bool, n),
+		recs:     make([]nodeRecorder, n),
+	}
+	delta, deltaPrime := cfg.Dual.Delta(), cfg.Dual.DeltaPrime()
+	for u := 0; u < n; u++ {
+		env := &NodeEnv{
+			ID:         u,
+			Delta:      delta,
+			DeltaPrime: deltaPrime,
+			R:          cfg.Dual.R,
+			Rng:        xrand.NodeSource(cfg.Seed, u),
+			Rec:        &e.recs[u],
+		}
+		cfg.Procs[u].Init(env)
+	}
+	e.drainRecorders(0)
+	if driver == DriverGoroutinePerNode {
+		e.startNodeGoroutines()
+	}
+	return e, nil
+}
+
+// Trace returns the engine's trace.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// Round returns the last executed round (0 before the first).
+func (e *Engine) Round() int { return e.round }
+
+// Run executes the given number of additional rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+}
+
+// Step executes one round.
+func (e *Engine) Step() {
+	t := e.round + 1
+	e.round = t
+
+	// Step 1: environment inputs.
+	if e.env != nil {
+		e.env.BeforeRound(t)
+	}
+
+	// Step 2: transmit decisions.
+	switch e.driver {
+	case DriverSequential:
+		for u := range e.procs {
+			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(t)
+		}
+	case DriverWorkerPool:
+		e.parallelNodes(func(u int) {
+			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(t)
+		})
+	case DriverGoroutinePerNode:
+		e.nodePhase(cmdTransmit)
+	}
+	e.drainRecorders(t)
+
+	// Adaptive adversaries observe the fixed decisions before the topology
+	// is resolved (explicit model violation, see TransmitterAware).
+	if ta, ok := e.sched.(TransmitterAware); ok {
+		ta.ObserveTransmitters(t, e.transmit)
+	}
+
+	// Resolve the round topology: reliable edges plus scheduled unreliable
+	// edges. The mask is queried once per edge per round.
+	for i := range e.included {
+		e.included[i] = e.sched != nil && e.sched.Included(t, i)
+	}
+
+	// Step 3: receptions under the collision rule.
+	switch e.driver {
+	case DriverSequential:
+		for u := range e.procs {
+			e.resolveReception(u)
+		}
+	case DriverWorkerPool:
+		e.parallelNodes(e.resolveReception)
+	case DriverGoroutinePerNode:
+		// Reception outcomes must be resolved before processes observe
+		// them; resolve centrally, then let nodes consume their slot.
+		for u := range e.procs {
+			e.resolveReception0(u)
+		}
+	}
+
+	// Stats and delivery. Delivery mutates process state; under the
+	// goroutine-per-node driver each node consumes its own slot.
+	if e.driver == DriverGoroutinePerNode {
+		e.nodePhase(cmdReceive)
+	}
+	txBefore, delBefore, colBefore := e.trace.Transmissions, e.trace.Deliveries, e.trace.Collisions
+	for u := range e.procs {
+		if e.transmit[u] {
+			e.trace.Transmissions++
+		}
+		if e.rxOK[u] {
+			e.trace.Deliveries++
+		} else {
+			e.countCollision(u)
+		}
+	}
+	if e.trace.SampleRounds {
+		e.trace.PerRound = append(e.trace.PerRound, RoundStat{
+			Round:         t,
+			Transmissions: e.trace.Transmissions - txBefore,
+			Deliveries:    e.trace.Deliveries - delBefore,
+			Collisions:    e.trace.Collisions - colBefore,
+		})
+	}
+	e.drainRecorders(t)
+	e.trace.RoundsRun++
+
+	// Step 4: environment outputs.
+	if e.env != nil {
+		e.env.AfterRound(t)
+	}
+}
+
+// resolveReception0 computes the reception outcome for node u into the
+// rxFrom/rxOK slots without delivering it.
+func (e *Engine) resolveReception0(u int) {
+	e.rxOK[u] = false
+	e.rxFrom[u] = NoTransmitter
+	if e.transmit[u] {
+		return // transmitters do not receive
+	}
+	count := 0
+	var from int32 = NoTransmitter
+	for _, v := range e.dual.G.Neighbors(u) {
+		if e.transmit[v] {
+			count++
+			from = v
+			if count > 1 {
+				break
+			}
+		}
+	}
+	if count <= 1 {
+		for _, arc := range e.dual.UnreliableIncidence(u) {
+			if e.included[arc.EdgeIndex()] && e.transmit[arc.Peer()] {
+				count++
+				from = arc.Peer()
+				if count > 1 {
+					break
+				}
+			}
+		}
+	}
+	if count == 1 {
+		e.rxOK[u] = true
+		e.rxFrom[u] = from
+	}
+}
+
+// resolveReception computes and immediately delivers node u's reception.
+func (e *Engine) resolveReception(u int) {
+	e.resolveReception0(u)
+	e.deliver(u)
+}
+
+// deliver invokes Receive for node u from the resolved slots and accounts
+// for collisions. Collision counting re-derives "two or more transmitting
+// neighbors" from the failure case to avoid a second scan on success.
+func (e *Engine) deliver(u int) {
+	t := e.round
+	if e.rxOK[u] {
+		from := int(e.rxFrom[u])
+		e.procs[u].Receive(t, from, e.payloads[from], true)
+		return
+	}
+	e.procs[u].Receive(t, NoTransmitter, nil, false)
+}
+
+// countCollisions tallies listener-rounds lost to interference for the
+// statistics counters. Called only for listeners that received ⊥.
+func (e *Engine) countCollision(u int) {
+	if e.transmit[u] || e.rxOK[u] {
+		return
+	}
+	count := 0
+	for _, v := range e.dual.G.Neighbors(u) {
+		if e.transmit[v] {
+			count++
+		}
+	}
+	for _, arc := range e.dual.UnreliableIncidence(u) {
+		if e.included[arc.EdgeIndex()] && e.transmit[arc.Peer()] {
+			count++
+		}
+	}
+	if count >= 2 {
+		e.trace.Collisions++
+	}
+}
+
+// parallelNodes applies fn to every node index using the worker pool.
+func (e *Engine) parallelNodes(fn func(u int)) {
+	n := len(e.procs)
+	workers := e.wrk
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fn(u)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				fn(u)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// startNodeGoroutines launches one goroutine per node for the
+// goroutine-per-node driver. Nodes are directed through phases by
+// commands on their private channel; command channels double as the
+// happens-before edge for the engine's shared round state.
+func (e *Engine) startNodeGoroutines() {
+	n := len(e.procs)
+	e.nodeCmd = make([]chan nodeCommand, n)
+	e.nodeDone = make(chan struct{}, n)
+	for u := 0; u < n; u++ {
+		e.nodeCmd[u] = make(chan nodeCommand, 1)
+		go e.nodeLoop(u)
+	}
+}
+
+func (e *Engine) nodeLoop(u int) {
+	for cmd := range e.nodeCmd[u] {
+		switch cmd {
+		case cmdTransmit:
+			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(e.round)
+		case cmdReceive:
+			e.deliver(u)
+		case cmdStop:
+			e.nodeDone <- struct{}{}
+			return
+		}
+		e.nodeDone <- struct{}{}
+	}
+}
+
+// nodePhase directs all node goroutines through one phase and waits for
+// completion.
+func (e *Engine) nodePhase(cmd nodeCommand) {
+	for u := range e.nodeCmd {
+		e.nodeCmd[u] <- cmd
+	}
+	for range e.nodeCmd {
+		<-e.nodeDone
+	}
+}
+
+// Close releases the node goroutines of the goroutine-per-node driver.
+// It is a no-op for the other drivers and safe to call multiple times.
+func (e *Engine) Close() {
+	if e.nodeCmd == nil {
+		return
+	}
+	e.nodePhase(cmdStop)
+	e.nodeCmd = nil
+}
+
+// drainRecorders appends per-node buffered events to the trace in node
+// order, producing a deterministic global order regardless of driver.
+func (e *Engine) drainRecorders(t int) {
+	for u := range e.recs {
+		for _, ev := range e.recs[u].buf {
+			if ev.Round == 0 {
+				ev.Round = t
+			}
+			e.trace.Record(ev)
+		}
+		e.recs[u].buf = e.recs[u].buf[:0]
+	}
+}

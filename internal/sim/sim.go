@@ -1,0 +1,100 @@
+// Package sim implements the synchronous execution model of Section 2 of
+// the paper: rounds 1, 2, … in which every process first receives inputs
+// from the environment, then decides to transmit or receive, then receives
+// (subject to the collision rule), and finally emits outputs which the
+// environment consumes.
+//
+// The communication topology of round t is G's reliable edges plus the
+// subset of unreliable edges the link scheduler includes for t. Node u
+// receives message m from v in round t iff u is receiving, v transmits m,
+// and v is the only transmitter among u's neighbors in that topology;
+// otherwise u receives the null indicator ⊥ (no collision detection).
+//
+// Three interchangeable drivers run the same semantics: a sequential loop, a
+// chunked worker pool, and a goroutine-per-node driver in which every
+// simulated process is its own goroutine synchronised by round barriers.
+// Per-node deterministic RNG streams make all three produce identical
+// executions.
+package sim
+
+import (
+	"lbcast/internal/xrand"
+)
+
+// NoTransmitter marks the From field of a reception event when nothing was
+// delivered (silence or collision).
+const NoTransmitter = -1
+
+// Process is the behaviour of one node, the paper's "process automaton".
+// The engine calls Init once, then Transmit and Receive once per round in
+// that order. Implementations must confine all state to themselves (plus
+// their NodeEnv), because drivers may run distinct processes concurrently.
+type Process interface {
+	// Init hands the process its identity and local knowledge before round 1.
+	// Per the model, a process knows its own id and the bounds Δ and Δ′ but
+	// not the network size n.
+	Init(env *NodeEnv)
+	// Transmit implements the round-t broadcast decision: return the payload
+	// and true to transmit, or false to receive this round.
+	Transmit(t int) (payload any, transmit bool)
+	// Receive delivers the round-t reception outcome: ok=true with the
+	// transmitter and payload for a successful reception, ok=false for ⊥
+	// (from is NoTransmitter, payload nil). Transmitting nodes always get ⊥.
+	Receive(t int, from int, payload any, ok bool)
+}
+
+// Environment drives inputs and consumes outputs, per the round structure of
+// Section 2. It runs single-threaded: BeforeRound(t) before any process acts
+// in round t and AfterRound(t) after every process finished round t.
+// Environments interact with processes through whatever typed interface the
+// protocol exposes (e.g. LBAlg's Bcast input), mirroring the paper's
+// deterministic environment automata.
+type Environment interface {
+	BeforeRound(t int)
+	AfterRound(t int)
+}
+
+// LinkScheduler resolves which unreliable edges (indices into
+// Dual.UnreliableEdges) join the communication topology each round.
+//
+// An oblivious scheduler — the model assumed by the paper's upper bounds —
+// must answer as a pure function of (t, edge), fixed before the execution.
+// Non-oblivious schedulers additionally implement TransmitterAware; they
+// deliberately break the model for the adaptive-adversary ablation.
+type LinkScheduler interface {
+	Included(t int, edge int) bool
+}
+
+// TransmitterAware is implemented by adaptive (non-oblivious) schedulers.
+// The engine calls ObserveTransmitters after transmit decisions are fixed
+// and before Included is queried for round t, giving the adversary exactly
+// the power the paper proves fatal for progress ([11]).
+type TransmitterAware interface {
+	ObserveTransmitters(t int, transmitting []bool)
+}
+
+// NodeEnv is a process's window onto the world, fixed at Init.
+type NodeEnv struct {
+	// ID is the node's identity (the vertex index; ids are unique).
+	ID int
+	// Delta and DeltaPrime are the degree bounds Δ and Δ′ every process is
+	// assumed to know.
+	Delta, DeltaPrime int
+	// R is the geographic parameter r ≥ 1.
+	R float64
+	// Rng is the node's private randomness stream.
+	Rng *xrand.Source
+	// Rec records protocol events (decide/bcast/ack/recv) into the trace.
+	Rec Recorder
+}
+
+// Recorder sinks protocol events. Engine-provided recorders are safe to use
+// from the owning node during its own Transmit/Receive calls.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// discardRecorder drops all events; used when no trace is attached.
+type discardRecorder struct{}
+
+func (discardRecorder) Record(Event) {}

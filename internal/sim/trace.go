@@ -1,0 +1,140 @@
+package sim
+
+import "fmt"
+
+// EventKind classifies protocol events recorded in a trace.
+type EventKind uint8
+
+const (
+	// EvBcast is the environment input bcast(m)_u starting a broadcast.
+	EvBcast EventKind = iota + 1
+	// EvAck is the output ack(m)_u completing a broadcast.
+	EvAck
+	// EvRecv is the output recv(m)_u delivering a message.
+	EvRecv
+	// EvDecide is the seed agreement output decide(j, s)_u.
+	EvDecide
+	// EvHear is a channel-level reception of a protocol data message,
+	// recorded even for duplicates. The progress property of the LB problem
+	// is defined over receptions ("u receives at least one message m_v …"),
+	// not over the deduplicated recv outputs, so checkers need both.
+	EvHear
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvBcast:
+		return "bcast"
+	case EvAck:
+		return "ack"
+	case EvRecv:
+		return "recv"
+	case EvDecide:
+		return "decide"
+	case EvHear:
+		return "hear"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one protocol event. Which fields are meaningful depends on Kind:
+//
+//   - EvBcast:  Node = broadcaster, MsgID = message.
+//   - EvAck:    Node = broadcaster, MsgID = message.
+//   - EvRecv:   Node = receiver, From = transmitter heard, MsgID = message.
+//   - EvDecide: Node = deciding node, From = seed owner id.
+type Event struct {
+	Round   int
+	Node    int
+	Kind    EventKind
+	From    int
+	MsgID   MsgID
+	Payload any
+}
+
+// MsgID identifies a broadcast message globally. The message sets M_u of the
+// paper are pairwise disjoint; encoding the source in the id enforces that.
+type MsgID int64
+
+// NewMsgID builds the id of the seq-th message of the given source.
+func NewMsgID(src, seq int) MsgID {
+	return MsgID(int64(src)<<32 | int64(uint32(seq)))
+}
+
+// Src returns the message's source node.
+func (m MsgID) Src() int { return int(int64(m) >> 32) }
+
+// Seq returns the message's per-source sequence number.
+func (m MsgID) Seq() int { return int(uint32(int64(m))) }
+
+// String implements fmt.Stringer.
+func (m MsgID) String() string { return fmt.Sprintf("m(%d,%d)", m.Src(), m.Seq()) }
+
+// Trace accumulates the protocol events of one execution together with
+// aggregate channel statistics. It is populated single-threadedly by the
+// engine (per-node buffers are drained in node order), so reads after Run
+// need no synchronisation and event order is deterministic.
+type Trace struct {
+	Events []Event
+
+	// RoundsRun counts executed rounds.
+	RoundsRun int
+	// Transmissions counts node-rounds spent transmitting.
+	Transmissions int
+	// Deliveries counts successful receptions.
+	Deliveries int
+	// Collisions counts listener-rounds with two or more transmitting
+	// topology neighbors (lost to interference).
+	Collisions int
+
+	// PerRound holds one entry per executed round when SampleRounds is
+	// set before the run; otherwise it stays nil. It feeds activity
+	// timelines (cmd/lbviz) and contention analyses.
+	PerRound []RoundStat
+	// SampleRounds enables PerRound collection.
+	SampleRounds bool
+}
+
+// RoundStat is one round's channel activity.
+type RoundStat struct {
+	Round         int
+	Transmissions int
+	Deliveries    int
+	Collisions    int
+}
+
+// Record appends an event. It must only be called from engine-owned
+// contexts; protocol code uses the per-node Recorder instead.
+func (tr *Trace) Record(ev Event) { tr.Events = append(tr.Events, ev) }
+
+// ByKind returns the events of the given kind, in trace order.
+func (tr *Trace) ByKind(kind EventKind) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByNode returns the events of the given node, in trace order.
+func (tr *Trace) ByNode(node int) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Node == node {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// nodeRecorder buffers one node's events between engine drain points, so
+// concurrent drivers never contend on the shared trace.
+type nodeRecorder struct {
+	buf []Event
+}
+
+func (r *nodeRecorder) Record(ev Event) { r.buf = append(r.buf, ev) }

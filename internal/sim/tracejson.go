@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON trace format makes executions portable: cmd/lbsim can dump a
+// trace for offline analysis, and golden-file tests can pin executions.
+// Payloads are serialised with fmt.Sprint (they are opaque to the trace).
+
+// traceJSON is the wire form of a Trace.
+type traceJSON struct {
+	RoundsRun     int         `json:"rounds_run"`
+	Transmissions int         `json:"transmissions"`
+	Deliveries    int         `json:"deliveries"`
+	Collisions    int         `json:"collisions"`
+	Events        []eventJSON `json:"events"`
+}
+
+// eventJSON is the wire form of an Event.
+type eventJSON struct {
+	Round   int    `json:"round"`
+	Node    int    `json:"node"`
+	Kind    string `json:"kind"`
+	From    int    `json:"from,omitempty"`
+	MsgID   int64  `json:"msg_id,omitempty"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// kindFromString inverts EventKind.String for the kinds the trace emits.
+func kindFromString(s string) (EventKind, error) {
+	for _, k := range []EventKind{EvBcast, EvAck, EvRecv, EvDecide, EvHear} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown event kind %q", s)
+}
+
+// WriteJSON serialises the trace.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{
+		RoundsRun:     tr.RoundsRun,
+		Transmissions: tr.Transmissions,
+		Deliveries:    tr.Deliveries,
+		Collisions:    tr.Collisions,
+		Events:        make([]eventJSON, len(tr.Events)),
+	}
+	for i, ev := range tr.Events {
+		ej := eventJSON{
+			Round: ev.Round,
+			Node:  ev.Node,
+			Kind:  ev.Kind.String(),
+			From:  ev.From,
+			MsgID: int64(ev.MsgID),
+		}
+		if ev.Payload != nil {
+			ej.Payload = fmt.Sprint(ev.Payload)
+		}
+		out.Events[i] = ej
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadTraceJSON deserialises a trace written by WriteJSON. Payloads come
+// back as strings (their printed form).
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sim: decoding trace: %w", err)
+	}
+	tr := &Trace{
+		RoundsRun:     in.RoundsRun,
+		Transmissions: in.Transmissions,
+		Deliveries:    in.Deliveries,
+		Collisions:    in.Collisions,
+		Events:        make([]Event, len(in.Events)),
+	}
+	for i, ej := range in.Events {
+		kind, err := kindFromString(ej.Kind)
+		if err != nil {
+			return nil, err
+		}
+		ev := Event{
+			Round: ej.Round,
+			Node:  ej.Node,
+			Kind:  kind,
+			From:  ej.From,
+			MsgID: MsgID(ej.MsgID),
+		}
+		if ej.Payload != "" {
+			ev.Payload = ej.Payload
+		}
+		tr.Events[i] = ev
+	}
+	return tr, nil
+}

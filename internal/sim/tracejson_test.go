@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{RoundsRun: 10, Transmissions: 5, Deliveries: 3, Collisions: 1}
+	tr.Record(Event{Round: 1, Node: 0, Kind: EvBcast, MsgID: NewMsgID(0, 1), Payload: "hello"})
+	tr.Record(Event{Round: 2, Node: 1, Kind: EvHear, From: 0, MsgID: NewMsgID(0, 1)})
+	tr.Record(Event{Round: 2, Node: 1, Kind: EvRecv, From: 0, MsgID: NewMsgID(0, 1)})
+	tr.Record(Event{Round: 4, Node: 2, Kind: EvDecide, From: 7})
+	tr.Record(Event{Round: 9, Node: 0, Kind: EvAck, MsgID: NewMsgID(0, 1)})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RoundsRun != 10 || got.Transmissions != 5 || got.Deliveries != 3 || got.Collisions != 1 {
+		t.Errorf("stats mismatch: %+v", got)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(tr.Events))
+	}
+	for i, want := range tr.Events {
+		g := got.Events[i]
+		if g.Round != want.Round || g.Node != want.Node || g.Kind != want.Kind ||
+			g.From != want.From || g.MsgID != want.MsgID {
+			t.Errorf("event %d: got %+v, want %+v", i, g, want)
+		}
+	}
+	// Payloads come back as their printed form.
+	if got.Events[0].Payload != "hello" {
+		t.Errorf("payload = %v", got.Events[0].Payload)
+	}
+}
+
+func TestTraceJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 || got.RoundsRun != 0 {
+		t.Errorf("empty round trip: %+v", got)
+	}
+}
+
+func TestTraceJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadTraceJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTraceJSON(strings.NewReader(`{"events":[{"kind":"warp"}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTraceJSONStableFields(t *testing.T) {
+	tr := &Trace{RoundsRun: 1}
+	tr.Record(Event{Round: 1, Node: 0, Kind: EvBcast, MsgID: NewMsgID(3, 4)})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rounds_run"`, `"events"`, `"kind": "bcast"`, `"msg_id"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("serialised trace missing %s:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitStringLen(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		b := NewBitString(r, n)
+		if b.Len() != n {
+			t.Errorf("NewBitString(%d).Len() = %d", n, b.Len())
+		}
+		if b.Remaining() != n {
+			t.Errorf("NewBitString(%d).Remaining() = %d", n, b.Remaining())
+		}
+	}
+}
+
+func TestBitStringConsume(t *testing.T) {
+	r := New(2)
+	b := NewBitString(r, 128)
+	total := 0
+	for _, k := range []int{0, 1, 5, 64, 50} {
+		v, ok := b.Consume(k)
+		if !ok {
+			t.Fatalf("Consume(%d) failed with %d remaining", k, b.Remaining())
+		}
+		if k < 64 && v>>uint(k) != 0 {
+			t.Fatalf("Consume(%d) = %#x exceeds k bits", k, v)
+		}
+		total += k
+		if b.Remaining() != 128-total {
+			t.Fatalf("Remaining() = %d after consuming %d", b.Remaining(), total)
+		}
+	}
+	// 8 bits remain; ask for more.
+	if _, ok := b.Consume(9); ok {
+		t.Error("Consume beyond remaining succeeded")
+	}
+	if b.Remaining() != 8 {
+		t.Error("failed Consume changed the cursor")
+	}
+	if _, ok := b.Consume(8); !ok {
+		t.Error("Consume of exactly remaining bits failed")
+	}
+}
+
+func TestBitStringConsumeMatchesBits(t *testing.T) {
+	r := New(3)
+	b := NewBitString(r, 200)
+	// Consuming one bit at a time must agree with Bit(i).
+	for i := 0; i < 200; i++ {
+		want := uint64(b.Bit(i))
+		got, ok := b.Consume(1)
+		if !ok || got != want {
+			t.Fatalf("bit %d: Consume=%d ok=%v, Bit=%d", i, got, ok, want)
+		}
+	}
+}
+
+func TestBitStringConsumeInvalidK(t *testing.T) {
+	b := NewBitString(New(4), 100)
+	if _, ok := b.Consume(-1); ok {
+		t.Error("Consume(-1) succeeded")
+	}
+	if _, ok := b.Consume(65); ok {
+		t.Error("Consume(65) succeeded")
+	}
+}
+
+func TestBitStringReset(t *testing.T) {
+	b := NewBitString(New(5), 64)
+	v1, _ := b.Consume(32)
+	b.Reset()
+	if b.Remaining() != 64 {
+		t.Fatal("Reset did not rewind cursor")
+	}
+	v2, _ := b.Consume(32)
+	if v1 != v2 {
+		t.Fatal("Reset changed content")
+	}
+}
+
+func TestBitStringClone(t *testing.T) {
+	b := NewBitString(New(6), 96)
+	b.Consume(10)
+	c := b.Clone()
+	if c.Remaining() != b.Remaining() {
+		t.Fatal("Clone did not preserve cursor")
+	}
+	// Consuming from the clone must not affect the original.
+	c.Consume(20)
+	if b.Remaining() != 86 {
+		t.Fatal("Clone shares cursor state with original")
+	}
+	if !b.Equal(c) {
+		t.Fatal("Clone content differs")
+	}
+}
+
+func TestBitStringEqual(t *testing.T) {
+	r := New(7)
+	a := NewBitString(r, 100)
+	b := NewBitString(r, 100)
+	if a.Equal(b) {
+		t.Fatal("two random 100-bit strings compare equal (astronomically unlikely)")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+	if a.Equal(nil) {
+		t.Fatal("Equal(nil) returned true")
+	}
+	short := NewBitString(r, 50)
+	if a.Equal(short) {
+		t.Fatal("strings of different length compare equal")
+	}
+}
+
+func TestBitStringFromWords(t *testing.T) {
+	words := []uint64{0xffffffffffffffff, 0xffffffffffffffff}
+	b := BitStringFromWords(words, 70)
+	if b.Len() != 70 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Ones() != 70 {
+		t.Fatalf("Ones = %d, want 70 (high bits must be masked)", b.Ones())
+	}
+	// The source slice must have been copied.
+	words[0] = 0
+	if b.Ones() != 70 {
+		t.Fatal("BitStringFromWords aliases the caller's slice")
+	}
+}
+
+func TestBitStringFromWordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized words")
+		}
+	}()
+	BitStringFromWords([]uint64{0}, 65)
+}
+
+func TestBitStringUniform(t *testing.T) {
+	// Random bit strings should be roughly balanced.
+	r := New(8)
+	const n = 4096
+	b := NewBitString(r, n)
+	ones := b.Ones()
+	if math.Abs(float64(ones)-n/2) > 5*math.Sqrt(n/4) {
+		t.Fatalf("Ones = %d out of %d", ones, n)
+	}
+}
+
+func TestBitStringConsumeProperty(t *testing.T) {
+	// Property: however we partition the string into chunks, re-assembling
+	// consumed chunks reproduces Bit(i) for all i.
+	r := New(9)
+	f := func(chunks []uint8) bool {
+		total := 0
+		sizes := make([]int, 0, len(chunks))
+		for _, c := range chunks {
+			k := int(c % 65)
+			if total+k > 512 {
+				break
+			}
+			sizes = append(sizes, k)
+			total += k
+		}
+		b := NewBitString(r, 512)
+		pos := 0
+		for _, k := range sizes {
+			v, ok := b.Consume(k)
+			if !ok {
+				return false
+			}
+			for i := 0; i < k; i++ {
+				if int(v>>uint(i)&1) != b.Bit(pos+i) {
+					return false
+				}
+			}
+			pos += k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitStringString(t *testing.T) {
+	b := NewBitString(New(10), 2048)
+	s := b.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	// Long strings are truncated to keep debug output small.
+	if len(s) > 64 {
+		t.Fatalf("String() too long: %d bytes", len(s))
+	}
+}
+
+func BenchmarkBitStringConsume(b *testing.B) {
+	bs := NewBitString(New(1), 1<<20)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, ok := bs.Consume(7)
+		if !ok {
+			bs.Reset()
+			continue
+		}
+		sink += v
+	}
+	_ = sink
+}

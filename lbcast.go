@@ -1,0 +1,335 @@
+// Package lbcast is a local broadcast layer for unreliable radio networks:
+// a Go implementation of Lynch & Newport, "A (Truly) Local Broadcast Layer
+// for Unreliable Radio Networks" (PODC 2015).
+//
+// The package simulates a synchronous dual graph radio network — reliable
+// links G plus adversarially scheduled unreliable links G′ — and runs the
+// paper's LBAlg local broadcast service on every node. The service offers
+// the bcast/ack/recv interface of a (probabilistic) abstract MAC layer with
+// two guarantees parameterised by an error bound ε:
+//
+//   - Reliability: a broadcast reaches every reliable neighbor before its
+//     acknowledgement with probability ≥ 1−ε, within t_ack rounds.
+//   - Progress: a node whose reliable neighbor is actively broadcasting
+//     throughout a t_prog-round phase receives some message with
+//     probability ≥ 1−ε.
+//
+// Both bounds depend only on local quantities (the degree bounds Δ and Δ′,
+// the geographic parameter r and ε) — never on the network size n.
+//
+// Quick start:
+//
+//	nw, err := lbcast.NewCluster(8, lbcast.WithEpsilon(0.1))
+//	if err != nil { ... }
+//	nw.OnReceive(func(node int, d lbcast.Delivery) { fmt.Println(node, d.Payload) })
+//	id, _ := nw.Broadcast(0, "hello")
+//	nw.RunUntilAck(id)
+//
+// The internal packages hold the full machinery: the round engine, seed
+// agreement, the LB(t_ack, t_prog, ε) specification checker, baselines and
+// the experiment harness (see DESIGN.md and EXPERIMENTS.md).
+package lbcast
+
+import (
+	"fmt"
+
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/geo"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// Point is a position in the plane used for geometric network construction.
+type Point struct {
+	X, Y float64
+}
+
+// MessageID identifies a broadcast accepted by the service.
+type MessageID = sim.MsgID
+
+// Delivery describes one recv output at a node.
+type Delivery struct {
+	// ID is the message identity; ID.Src() is the broadcaster.
+	ID MessageID
+	// From is the node heard on the air (always the broadcaster in LBAlg).
+	From int
+	// Payload is the broadcast payload.
+	Payload any
+	// Round is the reception round.
+	Round int
+}
+
+// Schedule summarises the derived LBAlg timing for a network.
+type Schedule struct {
+	// Epsilon is the configured error bound ε.
+	Epsilon float64
+	// Delta and DeltaPrime are the network's degree bounds.
+	Delta, DeltaPrime int
+	// TProg and TAck are the Theorem 4.1 latency bounds in rounds.
+	TProg, TAck int
+	// PhaseRounds is the full phase length (seed agreement + body).
+	PhaseRounds int
+}
+
+// Scheduler selects the unreliable-link adversary for a network.
+type Scheduler struct {
+	impl sim.LinkScheduler
+	name string
+}
+
+// ScheduleNever excludes all unreliable links (benign).
+func ScheduleNever() Scheduler { return Scheduler{impl: sched.Never{}, name: "never"} }
+
+// ScheduleAlways includes all unreliable links every round.
+func ScheduleAlways() Scheduler { return Scheduler{impl: sched.Always{}, name: "always"} }
+
+// ScheduleRandom includes each unreliable link independently with
+// probability p each round (obliviously, keyed by seed).
+func ScheduleRandom(p float64, seed uint64) Scheduler {
+	return Scheduler{impl: sched.Random{P: p, Seed: seed}, name: "random"}
+}
+
+// ScheduleAntiDecay is the paper's §1 adversary tuned against fixed
+// probability cycles of the given length.
+func ScheduleAntiDecay(cycleLen int) Scheduler {
+	return Scheduler{impl: sched.AntiDecay{CycleLen: cycleLen}, name: "anti-decay"}
+}
+
+// Driver selects how the simulator executes rounds. All drivers produce
+// bit-identical executions; they differ only in concurrency.
+type Driver int
+
+const (
+	// DriverSequential steps nodes in a single goroutine (default).
+	DriverSequential Driver = iota + 1
+	// DriverWorkerPool parallelises node steps over a worker pool.
+	DriverWorkerPool
+	// DriverGoroutinePerNode runs every simulated radio as its own
+	// goroutine, synchronised by round barriers.
+	DriverGoroutinePerNode
+)
+
+// Option configures network construction.
+type Option func(*options)
+
+type options struct {
+	eps       float64
+	seed      uint64
+	scheduler Scheduler
+	seedEvery int
+	driver    Driver
+}
+
+func defaultOptions() options {
+	return options{eps: 0.1, seed: 1, scheduler: ScheduleRandom(0.5, 1), seedEvery: 1, driver: DriverSequential}
+}
+
+// WithEpsilon sets the service error bound ε ∈ (0, ½]. Default 0.1.
+func WithEpsilon(eps float64) Option { return func(o *options) { o.eps = eps } }
+
+// WithSeed sets the experiment seed resolving all node randomness.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithScheduler selects the unreliable-link adversary. Default: random ½.
+func WithScheduler(s Scheduler) Option { return func(o *options) { o.scheduler = s } }
+
+// WithSeedAgreementEvery runs the seed agreement preamble every k phases
+// (the Section 4.2 variant). Default 1.
+func WithSeedAgreementEvery(k int) Option { return func(o *options) { o.seedEvery = k } }
+
+// WithDriver selects the execution driver. Default DriverSequential.
+func WithDriver(d Driver) Option { return func(o *options) { o.driver = d } }
+
+// Network is a simulated dual graph radio network running the local
+// broadcast service on every node. It is not safe for concurrent use.
+type Network struct {
+	dual   *dualgraph.Dual
+	engine *sim.Engine
+	procs  []*core.LBAlg
+	params core.Params
+
+	onReceive func(node int, d Delivery)
+	onAck     func(node int, id MessageID)
+	acked     map[MessageID]bool
+}
+
+// NewGeometric builds a network from an explicit embedding: vertices within
+// distance 1 get reliable links, pairs within (1, r] get unreliable links,
+// and farther pairs are unconnected (the r-geographic model).
+func NewGeometric(points []Point, r float64, opts ...Option) (*Network, error) {
+	emb := make([]geo.Point, len(points))
+	for i, p := range points {
+		emb[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	o := gather(opts)
+	d, err := dualFromEmbedding(emb, r, o)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(d, o)
+}
+
+// NewCluster builds a single-hop cluster of n nodes (a reliable clique),
+// the paper's canonical local setting.
+func NewCluster(n int, opts ...Option) (*Network, error) {
+	o := gather(opts)
+	d, err := dualgraph.SingleHopCluster(n, 1, xrand.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return assemble(d, o)
+}
+
+// NewRandomGeometric scatters n nodes uniformly over a w×h area with
+// geographic parameter r; all grey-zone links are unreliable.
+func NewRandomGeometric(n int, w, h, r float64, opts ...Option) (*Network, error) {
+	o := gather(opts)
+	d, err := dualgraph.RandomGeometric(n, w, h, r, dualgraph.GreyUnreliable, xrand.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return assemble(d, o)
+}
+
+func gather(opts []Option) options {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func dualFromEmbedding(emb []geo.Point, r float64, o options) (*dualgraph.Dual, error) {
+	g, gp := dualgraph.NewGraph(len(emb)), dualgraph.NewGraph(len(emb))
+	for u := range emb {
+		for v := u + 1; v < len(emb); v++ {
+			switch dist := geo.Dist(emb[u], emb[v]); {
+			case dist <= 1:
+				g.AddEdge(u, v)
+				gp.AddEdge(u, v)
+			case dist <= r:
+				gp.AddEdge(u, v)
+			}
+		}
+	}
+	return dualgraph.NewDual(g, gp, emb, r)
+}
+
+func assemble(d *dualgraph.Dual, o options) (*Network, error) {
+	delta, deltaPrime := d.Delta(), d.DeltaPrime()
+	if delta == 0 {
+		return nil, fmt.Errorf("lbcast: empty network")
+	}
+	params, err := core.DeriveParams(delta, deltaPrime, d.R, o.eps,
+		core.WithSeedEveryKPhases(o.seedEvery))
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{dual: d, params: params, acked: make(map[MessageID]bool)}
+	nw.procs = make([]*core.LBAlg, d.N())
+	simProcs := make([]sim.Process, d.N())
+	for u := 0; u < d.N(); u++ {
+		alg := core.NewLBAlg(params)
+		node := u
+		alg.OnRecv = func(m core.Message, from int) {
+			if nw.onReceive != nil {
+				nw.onReceive(node, Delivery{ID: m.ID, From: from, Payload: m.Payload, Round: nw.engine.Round()})
+			}
+		}
+		alg.OnAck = func(m core.Message) {
+			nw.acked[m.ID] = true
+			if nw.onAck != nil {
+				nw.onAck(node, m.ID)
+			}
+		}
+		nw.procs[u] = alg
+		simProcs[u] = alg
+	}
+	var driver sim.Driver
+	switch o.driver {
+	case DriverWorkerPool:
+		driver = sim.DriverWorkerPool
+	case DriverGoroutinePerNode:
+		driver = sim.DriverGoroutinePerNode
+	default:
+		driver = sim.DriverSequential
+	}
+	engine, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: o.scheduler.impl, Seed: o.seed, Driver: driver})
+	if err != nil {
+		return nil, err
+	}
+	nw.engine = engine
+	return nw, nil
+}
+
+// Close releases driver resources (node goroutines). It is a no-op for the
+// sequential and worker-pool drivers and safe to call repeatedly.
+func (nw *Network) Close() { nw.engine.Close() }
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return nw.dual.N() }
+
+// Schedule returns the derived timing bounds.
+func (nw *Network) Schedule() Schedule {
+	return Schedule{
+		Epsilon:     nw.params.Eps1,
+		Delta:       nw.params.Delta,
+		DeltaPrime:  nw.params.DeltaPrime,
+		TProg:       nw.params.TProgBound(),
+		TAck:        nw.params.TAckBound(),
+		PhaseRounds: nw.params.PhaseLen(),
+	}
+}
+
+// OnReceive registers the recv output handler (one per network).
+func (nw *Network) OnReceive(fn func(node int, d Delivery)) { nw.onReceive = fn }
+
+// OnAck registers the ack output handler (one per network).
+func (nw *Network) OnAck(fn func(node int, id MessageID)) { nw.onAck = fn }
+
+// Broadcast hands a message to node's local broadcast service. It fails if
+// the node is still broadcasting a previous message (the service supports
+// one outstanding broadcast per node, per the problem's environment rules).
+func (nw *Network) Broadcast(node int, payload any) (MessageID, error) {
+	if node < 0 || node >= nw.Size() {
+		return 0, fmt.Errorf("lbcast: node %d out of range [0,%d)", node, nw.Size())
+	}
+	return nw.procs[node].Bcast(payload)
+}
+
+// Busy reports whether the node has a broadcast in flight.
+func (nw *Network) Busy(node int) bool { return nw.procs[node].Active() }
+
+// Acked reports whether the given broadcast has been acknowledged.
+func (nw *Network) Acked(id MessageID) bool { return nw.acked[id] }
+
+// Round returns the number of executed rounds.
+func (nw *Network) Round() int { return nw.engine.Round() }
+
+// Step executes one synchronous round.
+func (nw *Network) Step() { nw.engine.Step() }
+
+// Run executes the given number of rounds.
+func (nw *Network) Run(rounds int) { nw.engine.Run(rounds) }
+
+// RunUntilAck runs until the broadcast is acknowledged, at most t_ack
+// rounds past the current round (the deterministic deadline). It reports
+// whether the ack arrived.
+func (nw *Network) RunUntilAck(id MessageID) bool {
+	deadline := nw.engine.Round() + nw.params.TAckBound() + nw.params.PhaseLen()
+	for nw.engine.Round() < deadline {
+		if nw.acked[id] {
+			return true
+		}
+		nw.engine.Step()
+	}
+	return nw.acked[id]
+}
+
+// Stats returns aggregate channel statistics for the executed rounds.
+func (nw *Network) Stats() (transmissions, deliveries, collisions int) {
+	tr := nw.engine.Trace()
+	return tr.Transmissions, tr.Deliveries, tr.Collisions
+}
