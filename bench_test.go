@@ -111,3 +111,24 @@ func BenchmarkNetworkRound(b *testing.B) {
 		nw.Step()
 	}
 }
+
+// BenchmarkNetworkRoundLarge is the scaling variant: 1000 nodes, 50
+// in-flight broadcasts. The transmitter-scatter kernel keeps per-round work
+// proportional to the transmitter neighborhoods, not to Σ deg over all
+// listeners, so rounds stay cheap as the network grows.
+func BenchmarkNetworkRoundLarge(b *testing.B) {
+	nw, err := NewRandomGeometric(1000, 13, 13, 1.5, WithSeed(1), WithEpsilon(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < nw.Size(); u += 20 {
+		if _, err := nw.Broadcast(u, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
+}

@@ -4,12 +4,20 @@
 // Usage:
 //
 //	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
+//	lbbench -benchjson BENCH_pr1.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
+//
+// With -benchjson, lbbench measures each selected experiment (ns/op,
+// B/op, allocs/op) instead of rendering tables and writes the
+// machine-readable BENCH_*.json used to track the performance trajectory
+// across PRs; -gobench merges a saved `go test -bench` output into the
+// same file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,10 +26,14 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		sizeFlag = flag.String("size", "medium", "experiment scale: small|medium|full")
-		seedFlag = flag.Uint64("seed", 1, "experiment seed")
-		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		sizeFlag  = flag.String("size", "medium", "experiment scale: small|medium|full")
+		seedFlag  = flag.Uint64("seed", 1, "experiment seed")
+		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
+		benchJSON = flag.String("benchjson", "", "measure experiments and write BENCH_*.json to this path instead of rendering tables")
+		benchIt   = flag.Int("benchiters", 1, "iterations per experiment for -benchjson")
+		goBench   = flag.String("gobench", "", "merge a saved `go test -bench` output file into -benchjson")
+		noteFlag  = flag.String("note", "", "free-form note recorded in -benchjson (e.g. the baseline being compared against)")
 	)
 	flag.Parse()
 
@@ -52,6 +64,14 @@ func main() {
 		}
 	}
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt, *goBench, *noteFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := 0
 	for _, e := range todo {
 		start := time.Now()
@@ -72,4 +92,46 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON measures every selected experiment and writes the
+// machine-readable benchmark file.
+func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName string,
+	seed uint64, iters int, goBenchPath, note string) error {
+	file := exp.BenchFile{
+		Note:      note,
+		GoVersion: runtime.Version(),
+		Size:      sizeName,
+		Seed:      seed,
+	}
+	for _, e := range todo {
+		r, err := exp.MeasureExperiment(e, size, seed, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %12d ns/op %10d B/op %8d allocs/op\n",
+			r.ID, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		file.Results = append(file.Results, r)
+	}
+	if goBenchPath != "" {
+		f, err := os.Open(goBenchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		gb, err := exp.ParseGoBench(f)
+		if err != nil {
+			return err
+		}
+		file.GoTest = gb
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := file.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

@@ -1,0 +1,3 @@
+module lbcast
+
+go 1.24

@@ -67,11 +67,19 @@ type LBAlg struct {
 	p   Params
 	env *sim.NodeEnv
 
+	// phaseLen caches p.PhaseLen() for the once-per-round phase arithmetic
+	// (Params methods copy the whole struct per call).
+	phaseLen int
+
 	seed      *seedagree.Alg
-	committed *xrand.BitString // this phase's committed seed (private clone)
+	committed *xrand.BitString // this phase's committed seed (private copy)
+	// committedBuf is the reusable backing buffer for committed; commitSeed
+	// overwrites it in place each phase instead of cloning.
+	committedBuf *xrand.BitString
 
 	state          State
 	pending        *Message // accepted bcast input not yet acknowledged
+	frame          any      // pending's on-air DataMsg, boxed once at Bcast
 	sendingStarted bool     // pending has entered its sending phases
 	phasesLeft     int      // full sending phases remaining for pending
 
@@ -105,7 +113,8 @@ func (l *LBAlg) SetOnRecv(fn func(Message, int)) { l.OnRecv = fn }
 
 // NewLBAlg creates the process with the given derived parameters.
 func NewLBAlg(p Params) *LBAlg {
-	return &LBAlg{p: p, state: StateReceiving, seen: make(map[sim.MsgID]struct{}), RecordHears: true}
+	return &LBAlg{p: p, phaseLen: p.PhaseLen(), state: StateReceiving,
+		seen: make(map[sim.MsgID]struct{}), RecordHears: true}
 }
 
 // Init implements sim.Process.
@@ -142,21 +151,29 @@ func (l *LBAlg) Bcast(payload any) (sim.MsgID, error) {
 	l.seq++
 	m := Message{ID: sim.NewMsgID(l.env.ID, l.seq), Payload: payload}
 	l.pending = &m
+	// Box the on-air frame once per broadcast; body rounds then transmit
+	// the same interface value, so steady-state rounds never allocate.
+	l.frame = DataMsg{Msg: m}
 	l.sendingStarted = false
 	// Round 0 is stamped with the current round by the trace drain.
 	l.env.Rec.Record(sim.Event{Node: l.env.ID, Kind: sim.EvBcast, MsgID: m.ID, Payload: payload})
 	return m.ID, nil
 }
 
+// phaseOf is Params.PhaseOf over the cached phase length.
+func (l *LBAlg) phaseOf(t int) (phase, pos int) {
+	return (t-1)/l.phaseLen + 1, (t - 1) % l.phaseLen
+}
+
 // Transmit implements sim.Process.
 func (l *LBAlg) Transmit(t int) (any, bool) {
-	phase, pos := l.p.PhaseOf(t)
+	phase, pos := l.phaseOf(t)
 
 	if pos == 0 {
 		l.beginPhase(phase)
 	}
 
-	if l.p.IsPreamble(pos) {
+	if pos < l.p.Ts {
 		if l.runsPreamble(phase) {
 			return l.seed.Transmit(pos + 1)
 		}
@@ -218,14 +235,14 @@ func (l *LBAlg) bodyRound() (any, bool) {
 		return nil, false
 	}
 	l.transmissions++
-	return DataMsg{Msg: *l.pending}, true
+	return l.frame, true
 }
 
 // Receive implements sim.Process.
 func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
-	phase, pos := l.p.PhaseOf(t)
+	phase, pos := l.phaseOf(t)
 
-	if l.p.IsPreamble(pos) && l.runsPreamble(phase) {
+	if pos < l.p.Ts && l.runsPreamble(phase) {
 		l.seed.Receive(pos+1, payload, ok)
 		if pos == l.p.Ts-1 {
 			l.commitSeed()
@@ -241,7 +258,7 @@ func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
 	}
 
 	// End of phase: sending nodes consume one of their Tack phases.
-	if pos == l.p.PhaseLen()-1 && l.state == StateSending {
+	if pos == l.phaseLen-1 && l.state == StateSending {
 		l.phasesLeft--
 		if l.phasesLeft <= 0 {
 			l.ack(t)
@@ -249,15 +266,21 @@ func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
 	}
 }
 
-// commitSeed adopts this phase's seed agreement decision. Each node clones
-// the committed bit string so cursors advance independently while contents
-// stay identical within an owner group.
+// commitSeed adopts this phase's seed agreement decision. Each node copies
+// the committed bit string into its own reusable buffer so cursors advance
+// independently while contents stay identical within an owner group; the
+// copy must happen here, before any owner refills its seed for the next
+// preamble.
 func (l *LBAlg) commitSeed() {
 	l.seed.Finalize() // defensive; Receive at Ts already finalizes
 	d := l.seed.Decision()
-	c := d.Seed.Clone()
-	c.Reset()
-	l.committed = c
+	if l.committedBuf == nil {
+		l.committedBuf = d.Seed.Clone()
+	} else {
+		l.committedBuf.CopyFrom(d.Seed)
+	}
+	l.committedBuf.Reset()
+	l.committed = l.committedBuf
 }
 
 // deliver records the channel-level reception and generates the recv(m)_u
@@ -280,6 +303,7 @@ func (l *LBAlg) deliver(t, from int, m Message) {
 func (l *LBAlg) ack(t int) {
 	m := *l.pending
 	l.pending = nil
+	l.frame = nil
 	l.sendingStarted = false
 	l.state = StateReceiving
 	l.env.Rec.Record(sim.Event{Round: t, Node: l.env.ID, Kind: sim.EvAck, MsgID: m.ID})

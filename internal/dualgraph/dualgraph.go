@@ -173,6 +173,31 @@ type Dual struct {
 
 	unreliable []Edge // E′ \ E, ordered
 	uAdj       [][]unreliableArc
+
+	gCSR CSR
+	uCSR UnreliableCSR
+}
+
+// CSR is a flattened adjacency in compressed-sparse-row form: the neighbors
+// of node u are Targets[Off[u]:Off[u+1]], sorted ascending. The round
+// engine's transmitter-scatter kernel walks it as contiguous memory instead
+// of chasing per-node slice headers.
+type CSR struct {
+	Off     []int32
+	Targets []int32
+}
+
+// Degree returns the number of entries for node u.
+func (c CSR) Degree(u int) int { return int(c.Off[u+1] - c.Off[u]) }
+
+// UnreliableCSR is the flattened unreliable incidence: for node u, the
+// incident unreliable edges have peers Peers[Off[u]:Off[u+1]] and edge
+// indices (into Dual.UnreliableEdges) Edges[Off[u]:Off[u+1]], in increasing
+// edge-index order.
+type UnreliableCSR struct {
+	Off   []int32
+	Peers []int32
+	Edges []int32
 }
 
 // unreliableArc is one endpoint's view of an unreliable edge.
@@ -256,8 +281,9 @@ func (d *Dual) checkGeographic() error {
 	return nil
 }
 
-// index precomputes the unreliable edge list and per-node incidence, the
-// structures the round engine consults when applying a link schedule.
+// index precomputes the unreliable edge list, per-node incidence and the
+// flattened CSR forms, the structures the round engine consults when
+// applying a link schedule and scattering transmissions.
 func (d *Dual) index() {
 	n := d.G.N()
 	d.uAdj = make([][]unreliableArc, n)
@@ -271,6 +297,32 @@ func (d *Dual) index() {
 			}
 		}
 	}
+
+	gTotal := 0
+	for u := 0; u < n; u++ {
+		gTotal += len(d.G.adj[u])
+	}
+	d.gCSR = CSR{Off: make([]int32, n+1), Targets: make([]int32, 0, gTotal)}
+	for u := 0; u < n; u++ {
+		d.gCSR.Off[u] = int32(len(d.gCSR.Targets))
+		d.gCSR.Targets = append(d.gCSR.Targets, d.G.adj[u]...)
+	}
+	d.gCSR.Off[n] = int32(len(d.gCSR.Targets))
+
+	uTotal := 2 * len(d.unreliable)
+	d.uCSR = UnreliableCSR{
+		Off:   make([]int32, n+1),
+		Peers: make([]int32, 0, uTotal),
+		Edges: make([]int32, 0, uTotal),
+	}
+	for u := 0; u < n; u++ {
+		d.uCSR.Off[u] = int32(len(d.uCSR.Peers))
+		for _, arc := range d.uAdj[u] {
+			d.uCSR.Peers = append(d.uCSR.Peers, arc.peer)
+			d.uCSR.Edges = append(d.uCSR.Edges, arc.edge)
+		}
+	}
+	d.uCSR.Off[n] = int32(len(d.uCSR.Peers))
 }
 
 // N returns the number of vertices.
@@ -290,6 +342,14 @@ func (d *Dual) UnreliableEdges() []Edge { return d.unreliable }
 // UnreliableIncidence returns, for node u, the (peer, edge index) pairs of
 // the unreliable edges incident to u. The returned slice must not be modified.
 func (d *Dual) UnreliableIncidence(u int) []unreliableArc { return d.uAdj[u] }
+
+// ReliableCSR returns the flattened G adjacency. The returned slices must
+// not be modified.
+func (d *Dual) ReliableCSR() CSR { return d.gCSR }
+
+// UnreliableCSR returns the flattened unreliable incidence. The returned
+// slices must not be modified.
+func (d *Dual) UnreliableCSR() UnreliableCSR { return d.uCSR }
 
 // Peer and EdgeIndex expose unreliableArc fields to other packages.
 func (a unreliableArc) Peer() int32      { return a.peer }

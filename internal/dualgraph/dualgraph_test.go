@@ -431,3 +431,71 @@ func BenchmarkRandomGeometric(b *testing.B) {
 		}
 	}
 }
+
+// TestCSRConsistency checks that the flattened CSR forms agree exactly with
+// the slice-of-slices adjacency and incidence they mirror.
+func TestCSRConsistency(t *testing.T) {
+	rng := xrand.New(9)
+	d, err := RandomGeometric(300, 8, 8, 1.8, GreyUnreliable, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.ReliableCSR()
+	if len(g.Off) != d.N()+1 {
+		t.Fatalf("reliable CSR has %d offsets for %d vertices", len(g.Off), d.N())
+	}
+	for u := 0; u < d.N(); u++ {
+		nbrs := d.G.Neighbors(u)
+		flat := g.Targets[g.Off[u]:g.Off[u+1]]
+		if len(flat) != len(nbrs) || g.Degree(u) != len(nbrs) {
+			t.Fatalf("node %d: CSR degree %d, adjacency %d", u, len(flat), len(nbrs))
+		}
+		for i, v := range nbrs {
+			if flat[i] != v {
+				t.Fatalf("node %d: CSR target %d = %d, want %d", u, i, flat[i], v)
+			}
+		}
+	}
+	uc := d.UnreliableCSR()
+	if len(uc.Off) != d.N()+1 || len(uc.Peers) != len(uc.Edges) {
+		t.Fatalf("unreliable CSR shape: %d offsets, %d peers, %d edges",
+			len(uc.Off), len(uc.Peers), len(uc.Edges))
+	}
+	if len(uc.Peers) != 2*len(d.UnreliableEdges()) {
+		t.Fatalf("unreliable CSR has %d arcs for %d edges", len(uc.Peers), len(d.UnreliableEdges()))
+	}
+	for u := 0; u < d.N(); u++ {
+		arcs := d.UnreliableIncidence(u)
+		lo, hi := uc.Off[u], uc.Off[u+1]
+		if int(hi-lo) != len(arcs) {
+			t.Fatalf("node %d: CSR incidence %d, slice incidence %d", u, hi-lo, len(arcs))
+		}
+		for i, arc := range arcs {
+			if uc.Peers[lo+int32(i)] != arc.Peer() || uc.Edges[lo+int32(i)] != arc.EdgeIndex() {
+				t.Fatalf("node %d arc %d: CSR (%d,%d), want (%d,%d)", u, i,
+					uc.Peers[lo+int32(i)], uc.Edges[lo+int32(i)], arc.Peer(), arc.EdgeIndex())
+			}
+			e := d.UnreliableEdges()[arc.EdgeIndex()]
+			if int32(u) != e.U && int32(u) != e.V {
+				t.Fatalf("node %d: arc edge %v does not touch it", u, e)
+			}
+		}
+	}
+}
+
+// TestCSREmptyAndSingleton pins the degenerate shapes.
+func TestCSREmptyAndSingleton(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		d, err := Abstract(n, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, uc := d.ReliableCSR(), d.UnreliableCSR()
+		if len(g.Off) != n+1 || len(uc.Off) != n+1 {
+			t.Errorf("n=%d: offsets %d/%d", n, len(g.Off), len(uc.Off))
+		}
+		if len(g.Targets) != 0 || len(uc.Peers) != 0 {
+			t.Errorf("n=%d: nonempty targets", n)
+		}
+	}
+}

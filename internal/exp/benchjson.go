@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is the measured cost of one experiment, the unit of the
+// machine-readable BENCH_*.json files that track the performance trajectory
+// across PRs.
+type BenchResult struct {
+	ID          string `json:"id"`
+	Iters       int    `json:"iters"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// GoBench is one `go test -bench` result line, embedded alongside the
+// experiment measurements so a single file captures both harness- and
+// API-level numbers. NsPerOp is a float because go test prints fractional
+// ns/op for fast benchmarks (e.g. "6.194 ns/op").
+type GoBench struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// BenchFile is the BENCH_*.json schema.
+type BenchFile struct {
+	Label     string        `json:"label,omitempty"`
+	Note      string        `json:"note,omitempty"`
+	GoVersion string        `json:"go_version"`
+	Size      string        `json:"size"`
+	Seed      uint64        `json:"seed"`
+	Results   []BenchResult `json:"results"`
+	GoTest    []GoBench     `json:"go_test,omitempty"`
+}
+
+// WriteJSON renders the file with stable formatting.
+func (f BenchFile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// MeasureExperiment runs the experiment iters times (varying the seed per
+// iteration, like the root benchmarks do) and reports wall time and
+// allocation cost per run.
+func MeasureExperiment(e Experiment, size Size, seed uint64, iters int) (BenchResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := e.Run(size, seed+uint64(i)); err != nil {
+			return BenchResult{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchResult{
+		ID:          e.ID,
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}, nil
+}
+
+// ParseGoBench extracts benchmark lines from `go test -bench` output. Lines
+// that are not benchmark results are skipped; malformed numeric fields fail
+// loudly so a format drift cannot silently zero the trajectory.
+func ParseGoBench(r io.Reader) ([]GoBench, error) {
+	var out []GoBench
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("exp: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("exp: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		b := GoBench{Name: fields[0], Iters: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("exp: bad value in %q: %w", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMeasureExperiment(t *testing.T) {
+	calls := 0
+	e := Experiment{ID: "E-FAKE", Claim: "fixture", Run: func(size Size, seed uint64) (*Result, error) {
+		calls++
+		return &Result{ID: "E-FAKE"}, nil
+	}}
+	r, err := MeasureExperiment(e, SizeSmall, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || r.Iters != 3 || r.ID != "E-FAKE" {
+		t.Errorf("measurement = %+v after %d calls", r, calls)
+	}
+	if r.NsPerOp < 0 || r.AllocsPerOp < 0 {
+		t.Errorf("negative costs: %+v", r)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	src := `goos: linux
+goarch: amd64
+pkg: lbcast
+BenchmarkBroadcastAck 	     848	 2910618 ns/op	  226486 B/op	     234 allocs/op
+BenchmarkNetworkRound 	  127466	   19583 ns/op	     999 B/op	       0 allocs/op
+BenchmarkNoMem        	     100	     500 ns/op
+BenchmarkFast         	205817067	   6.194 ns/op
+PASS
+`
+	got, err := ParseGoBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(got))
+	}
+	if got[1].Name != "BenchmarkNetworkRound" || got[1].NsPerOp != 19583 ||
+		got[1].BytesPerOp != 999 || got[1].AllocsPerOp != 0 || got[1].Iters != 127466 {
+		t.Errorf("NetworkRound = %+v", got[1])
+	}
+	if got[2].BytesPerOp != 0 || got[2].NsPerOp != 500 {
+		t.Errorf("ns-only line = %+v", got[2])
+	}
+	if got[3].NsPerOp != 6.194 {
+		t.Errorf("fractional ns/op line = %+v", got[3])
+	}
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkBad x ns/op ns/op")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	f := BenchFile{
+		Note:      "seed baseline",
+		GoVersion: "go1.24.0",
+		Size:      "small",
+		Seed:      1,
+		Results:   []BenchResult{{ID: "E-PROG", Iters: 1, NsPerOp: 123, BytesPerOp: 456, AllocsPerOp: 7}},
+		GoTest:    []GoBench{{Name: "BenchmarkNetworkRound", Iters: 10, NsPerOp: 9999}},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got BenchFile
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0] != f.Results[0] || got.GoTest[0] != f.GoTest[0] || got.Note != f.Note {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"results"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("serialised file missing %s", key)
+		}
+	}
+}

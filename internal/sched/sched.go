@@ -13,9 +13,17 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"lbcast/internal/dualgraph"
 )
+
+// fill overwrites every entry of mask with v.
+func fill(mask []bool, v bool) {
+	for i := range mask {
+		mask[i] = v
+	}
+}
 
 // Never excludes every unreliable edge in every round: communication happens
 // on G alone. The least adversarial oblivious schedule.
@@ -24,12 +32,18 @@ type Never struct{}
 // Included implements sim.LinkScheduler.
 func (Never) Included(int, int) bool { return false }
 
+// IncludedBatch implements sim.BatchLinkScheduler.
+func (Never) IncludedBatch(_ int, mask []bool) { fill(mask, false) }
+
 // Always includes every unreliable edge in every round: communication
 // happens on G′ in full. Maximum steady contention.
 type Always struct{}
 
 // Included implements sim.LinkScheduler.
 func (Always) Included(int, int) bool { return true }
+
+// IncludedBatch implements sim.BatchLinkScheduler.
+func (Always) IncludedBatch(_ int, mask []bool) { fill(mask, true) }
 
 // Random includes each unreliable edge independently with probability P in
 // each round. The schedule is a deterministic hash of (Seed, t, edge), so it
@@ -52,6 +66,26 @@ func (s Random) Included(t, edge int) bool {
 	return float64(h>>11)/(1<<53) < s.P
 }
 
+// IncludedBatch implements sim.BatchLinkScheduler: one pass over the mask
+// with the hash inlined and the probability compiled to an integer
+// threshold, no per-edge dispatch or float conversion. Bit-identical to
+// Included: h>>11 is a 53-bit integer, so (h>>11)/2^53 < P exactly when
+// h>>11 < ⌈P·2^53⌉, the scaling by a power of two being lossless.
+func (s Random) IncludedBatch(t int, mask []bool) {
+	if s.P <= 0 {
+		fill(mask, false)
+		return
+	}
+	if s.P >= 1 {
+		fill(mask, true)
+		return
+	}
+	thresh := uint64(math.Ceil(s.P * (1 << 53)))
+	for i := range mask {
+		mask[i] = mix3(s.Seed, uint64(t), uint64(i))>>11 < thresh
+	}
+}
+
 // Periodic includes all unreliable edges during the first OnRounds rounds of
 // every Period-round cycle and none otherwise. Captures bursty interference
 // (e.g. a periodic co-located transmitter).
@@ -67,6 +101,10 @@ func (s Periodic) Included(t, _ int) bool {
 	}
 	return ((t-1)%s.Period+s.Period)%s.Period < s.OnRounds
 }
+
+// IncludedBatch implements sim.BatchLinkScheduler. The decision is uniform
+// across edges, so the batch fill computes it once.
+func (s Periodic) IncludedBatch(t int, mask []bool) { fill(mask, s.Included(t, 0)) }
 
 // AntiDecay is the oblivious adversary sketched in the paper's introduction:
 // it knows that a fixed-schedule protocol (Decay, [2]) cycles through
@@ -102,6 +140,10 @@ func (s AntiDecay) Included(t, _ int) bool {
 	pos := ((t-1+s.Offset)%s.CycleLen + s.CycleLen) % s.CycleLen
 	return pos < on
 }
+
+// IncludedBatch implements sim.BatchLinkScheduler. The decision is uniform
+// across edges, so the batch fill computes it once.
+func (s AntiDecay) IncludedBatch(t int, mask []bool) { fill(mask, s.Included(t, 0)) }
 
 // TunedAntiDecay builds the adversary with the split that minimises the
 // victim's per-cycle delivery probability, given the number of saturated
@@ -148,11 +190,20 @@ func TunedAntiDecay(senders, cycleLen int) AntiDecay {
 type Adaptive struct {
 	target       int
 	reliableNbrs []int32
-	// incident[edge] = peer node for unreliable edges touching target.
-	incident map[int]int32
+	// incident lists the unreliable edges touching the target, sorted by
+	// edge index. A slice (not a map) keeps the adversary deterministic:
+	// identical seeds must produce identical executions, so the collision
+	// edge is always the lowest-index eligible one.
+	incident []incidentArc
 
 	curRound   int
 	chosenEdge int
+}
+
+// incidentArc is one unreliable edge at the adversary's target.
+type incidentArc struct {
+	edge int
+	peer int32
 }
 
 // NewAdaptive builds an adaptive adversary against the given target node.
@@ -163,12 +214,12 @@ func NewAdaptive(d *dualgraph.Dual, target int) (*Adaptive, error) {
 	a := &Adaptive{
 		target:       target,
 		reliableNbrs: d.G.Neighbors(target),
-		incident:     make(map[int]int32),
 		chosenEdge:   -1,
 	}
 	for _, arc := range d.UnreliableIncidence(target) {
-		a.incident[int(arc.EdgeIndex())] = arc.Peer()
+		a.incident = append(a.incident, incidentArc{edge: int(arc.EdgeIndex()), peer: arc.Peer()})
 	}
+	sort.Slice(a.incident, func(i, j int) bool { return a.incident[i].edge < a.incident[j].edge })
 	return a, nil
 }
 
@@ -187,9 +238,9 @@ func (a *Adaptive) ObserveTransmitters(t int, transmitting []bool) {
 		// Zero transmitters: silence; two or more: already a collision.
 		return
 	}
-	for edge, peer := range a.incident {
-		if transmitting[peer] {
-			a.chosenEdge = edge
+	for _, arc := range a.incident {
+		if transmitting[arc.peer] {
+			a.chosenEdge = arc.edge
 			return
 		}
 	}
@@ -198,6 +249,15 @@ func (a *Adaptive) ObserveTransmitters(t int, transmitting []bool) {
 // Included implements sim.LinkScheduler.
 func (a *Adaptive) Included(t, edge int) bool {
 	return t == a.curRound && edge == a.chosenEdge
+}
+
+// IncludedBatch implements sim.BatchLinkScheduler: all edges excluded except
+// the round's chosen collision edge, if any.
+func (a *Adaptive) IncludedBatch(t int, mask []bool) {
+	fill(mask, false)
+	if t == a.curRound && a.chosenEdge >= 0 && a.chosenEdge < len(mask) {
+		mask[a.chosenEdge] = true
+	}
 }
 
 // mix3 hashes three words with SplitMix64-style finalisation.

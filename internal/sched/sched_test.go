@@ -268,3 +268,94 @@ func TestNewAdaptiveRejectsBadTarget(t *testing.T) {
 		t.Error("want error for out-of-range target")
 	}
 }
+
+// TestIncludedBatchMatchesIncluded checks the BatchLinkScheduler contract
+// for every scheduler: the batch fill must be bit-identical to per-edge
+// queries, including overwriting stale mask contents.
+func TestIncludedBatchMatchesIncluded(t *testing.T) {
+	d := adaptiveFixture(t, 3)
+	adaptive, err := NewAdaptive(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]bool, d.N())
+	tx[1], tx[2] = true, true
+
+	type batcher interface {
+		Included(t, edge int) bool
+		IncludedBatch(t int, mask []bool)
+	}
+	cases := []struct {
+		name string
+		s    batcher
+		prep func(round int)
+	}{
+		{"never", Never{}, nil},
+		{"always", Always{}, nil},
+		{"random", Random{P: 0.37, Seed: 123}, nil},
+		{"random-p0", Random{P: 0, Seed: 1}, nil},
+		{"random-p1", Random{P: 1, Seed: 1}, nil},
+		{"periodic", Periodic{Period: 5, OnRounds: 2}, nil},
+		{"antidecay", AntiDecay{CycleLen: 6, Offset: 2}, nil},
+		{"adaptive", adaptive, func(round int) { adaptive.ObserveTransmitters(round, tx) }},
+	}
+	nEdges := len(d.UnreliableEdges())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mask := make([]bool, nEdges)
+			for round := 1; round <= 40; round++ {
+				if tc.prep != nil {
+					tc.prep(round)
+				}
+				// Poison the mask: batch fills must overwrite every entry.
+				for i := range mask {
+					mask[i] = round%2 == 0
+				}
+				tc.s.IncludedBatch(round, mask)
+				for e := 0; e < nEdges; e++ {
+					if want := tc.s.Included(round, e); mask[e] != want {
+						t.Fatalf("round %d edge %d: batch %v, Included %v", round, e, mask[e], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDeterministicChoice pins the determinism fix: with several
+// transmitting decoys the adversary must always choose the lowest-index
+// eligible edge, identically across repeated constructions (the old map
+// iteration made this choice nondeterministic across runs).
+func TestAdaptiveDeterministicChoice(t *testing.T) {
+	d := adaptiveFixture(t, 4)
+	lowest := -1
+	for _, arc := range d.UnreliableIncidence(0) {
+		if lowest == -1 || int(arc.EdgeIndex()) < lowest {
+			lowest = int(arc.EdgeIndex())
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, err := NewAdaptive(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := make([]bool, d.N())
+		tx[1] = true // the sole reliable transmitter: a delivery threat
+		for u := 2; u < d.N(); u++ {
+			tx[u] = true // every decoy transmits: all edges eligible
+		}
+		a.ObserveTransmitters(1, tx)
+		chosen := -1
+		for i := range d.UnreliableEdges() {
+			if a.Included(1, i) {
+				if chosen != -1 {
+					t.Fatal("more than one edge included")
+				}
+				chosen = i
+			}
+		}
+		if chosen != lowest {
+			t.Fatalf("trial %d: chose edge %d, want lowest-index eligible %d", trial, chosen, lowest)
+		}
+	}
+}

@@ -131,7 +131,8 @@ func TestAlgInitialState(t *testing.T) {
 func TestAlgReset(t *testing.T) {
 	p := validParams(t)
 	a := NewAlg(p, 3, xrand.New(2))
-	s1 := a.InitialSeed()
+	// Reset refills the seed buffer in place, so snapshot the contents.
+	s1 := a.InitialSeed().Clone()
 	// Run to completion in isolation: node decides (possibly by default).
 	for local := 1; local <= p.Rounds(); local++ {
 		a.Transmit(local)

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/xrand"
+)
+
+// chattyProc transmits by private coin and records every reception outcome
+// into the trace, so that two executions are trace-identical only if every
+// per-node reception (source and round) matched exactly.
+type chattyProc struct {
+	env *NodeEnv
+	p   float64
+}
+
+func (c *chattyProc) Init(env *NodeEnv) { c.env = env }
+
+func (c *chattyProc) Transmit(t int) (any, bool) {
+	if c.env.Rng.Coin(c.p) {
+		return c.env.ID, true
+	}
+	return nil, false
+}
+
+func (c *chattyProc) Receive(t, from int, payload any, ok bool) {
+	if ok {
+		c.env.Rec.Record(Event{Round: t, Node: c.env.ID, Kind: EvHear, From: from})
+	}
+}
+
+// TestDriverTraceEquivalence is the driver-parity contract at full trace
+// granularity: DriverSequential, DriverWorkerPool and DriverGoroutinePerNode
+// must produce identical traces — same events in the same order, same
+// aggregate counters — for the same seed and link schedule on a nontrivial
+// dual graph. Run it under -race to also exercise the parallel drivers'
+// synchronisation.
+func TestDriverTraceEquivalence(t *testing.T) {
+	d, err := dualgraph.RandomGeometric(120, 5, 5, 1.7, dualgraph.GreyUnreliable, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.UnreliableEdges()) == 0 || d.G.EdgeCount() == 0 {
+		t.Fatal("fixture graph is trivial")
+	}
+
+	schedulers := []struct {
+		name string
+		s    LinkScheduler
+	}{
+		{"random", sched.Random{P: 0.4, Seed: 21}},
+		{"always", sched.Always{}},
+		{"periodic", sched.Periodic{Period: 7, OnRounds: 3}},
+	}
+	drivers := []struct {
+		name string
+		d    Driver
+	}{
+		{"sequential", DriverSequential},
+		{"workerpool", DriverWorkerPool},
+		{"goroutine-per-node", DriverGoroutinePerNode},
+	}
+
+	for _, sc := range schedulers {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(driver Driver) *Trace {
+				procs := make([]Process, d.N())
+				for u := range procs {
+					procs[u] = &chattyProc{p: 0.15}
+				}
+				e, err := New(Config{Dual: d, Procs: procs, Sched: sc.s, Seed: 99, Driver: driver})
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Run(150)
+				e.Close()
+				return e.Trace()
+			}
+			ref := run(DriverSequential)
+			if len(ref.Events) == 0 || ref.Deliveries == 0 {
+				t.Fatalf("reference run is degenerate: %d events, %d deliveries",
+					len(ref.Events), ref.Deliveries)
+			}
+			for _, dr := range drivers[1:] {
+				got := run(dr.d)
+				if got.Transmissions != ref.Transmissions || got.Deliveries != ref.Deliveries ||
+					got.Collisions != ref.Collisions || got.RoundsRun != ref.RoundsRun {
+					t.Errorf("%s counters diverged: got {tx %d del %d col %d}, want {tx %d del %d col %d}",
+						dr.name, got.Transmissions, got.Deliveries, got.Collisions,
+						ref.Transmissions, ref.Deliveries, ref.Collisions)
+				}
+				if !reflect.DeepEqual(got.Events, ref.Events) {
+					i := 0
+					for i < len(got.Events) && i < len(ref.Events) && got.Events[i] == ref.Events[i] {
+						i++
+					}
+					t.Errorf("%s events diverged at index %d (%d vs %d events)",
+						dr.name, i, len(got.Events), len(ref.Events))
+				}
+			}
+		})
+	}
+}

@@ -50,6 +50,7 @@ type Engine struct {
 	dual   *dualgraph.Dual
 	procs  []Process
 	sched  LinkScheduler
+	batch  BatchLinkScheduler // non-nil when sched supports batch fills
 	env    Environment
 	driver Driver
 	wrk    int
@@ -57,10 +58,21 @@ type Engine struct {
 
 	round int // last executed round; rounds are 1-indexed as in the paper
 
-	// Per-round scratch, reused across rounds.
+	// Flattened topology (shared with dual, read-only): the scatter kernel
+	// walks these instead of per-node adjacency slices.
+	gCSR dualgraph.CSR
+	uCSR dualgraph.UnreliableCSR
+
+	// Per-round scratch, reused across rounds. The payload slot table keeps
+	// one slot per node; transmitters' Transmit results land in their own
+	// slot and are read at delivery, so no per-round payload allocation
+	// happens in the engine.
 	payloads []any
 	transmit []bool
-	included []bool // unreliable edge inclusion mask for the current round
+	included []bool  // unreliable edge inclusion mask for the current round
+	txList   []int32 // this round's transmitters, ascending
+	rxCount  []int32 // transmitting neighbors seen by the scatter
+	rxStamp  []int   // round that last touched rxCount/rxFrom for the node
 	rxFrom   []int32
 	rxOK     []bool
 	recs     []nodeRecorder
@@ -108,12 +120,20 @@ func New(cfg Config) (*Engine, error) {
 		driver:   driver,
 		wrk:      workers,
 		trace:    trace,
+		gCSR:     cfg.Dual.ReliableCSR(),
+		uCSR:     cfg.Dual.UnreliableCSR(),
 		payloads: make([]any, n),
 		transmit: make([]bool, n),
 		included: make([]bool, len(cfg.Dual.UnreliableEdges())),
+		txList:   make([]int32, 0, n),
+		rxCount:  make([]int32, n),
+		rxStamp:  make([]int, n),
 		rxFrom:   make([]int32, n),
 		rxOK:     make([]bool, n),
 		recs:     make([]nodeRecorder, n),
+	}
+	if b, ok := cfg.Sched.(BatchLinkScheduler); ok {
+		e.batch = b
 	}
 	delta, deltaPrime := cfg.Dual.Delta(), cfg.Dual.DeltaPrime()
 	for u := 0; u < n; u++ {
@@ -179,41 +199,57 @@ func (e *Engine) Step() {
 	}
 
 	// Resolve the round topology: reliable edges plus scheduled unreliable
-	// edges. The mask is queried once per edge per round.
-	for i := range e.included {
-		e.included[i] = e.sched != nil && e.sched.Included(t, i)
+	// edges. Batch-capable schedulers fill the whole mask in one call; the
+	// shim queries the mask once per edge per round.
+	if e.batch != nil {
+		e.batch.IncludedBatch(t, e.included)
+	} else if e.sched != nil {
+		for i := range e.included {
+			e.included[i] = e.sched.Included(t, i)
+		}
 	}
 
-	// Step 3: receptions under the collision rule.
+	// Step 3: receptions under the collision rule. Scatter from the
+	// (typically sparse) transmitter set: each transmitter bumps the
+	// reception count of its reliable neighbors and its included unreliable
+	// peers, costing O(Σ deg over transmitters) and yielding collision
+	// counts as a by-product. Listeners never scan their neighborhoods.
+	e.scatter(t)
+	for u := range e.procs {
+		if !e.transmit[u] && e.rxStamp[u] == t && e.rxCount[u] == 1 {
+			e.rxOK[u] = true
+		} else {
+			e.rxOK[u] = false
+			e.rxFrom[u] = NoTransmitter
+		}
+	}
+
+	// Delivery mutates process state; under the goroutine-per-node driver
+	// each node consumes its own slot.
 	switch e.driver {
 	case DriverSequential:
 		for u := range e.procs {
-			e.resolveReception(u)
+			e.deliver(u)
 		}
 	case DriverWorkerPool:
-		e.parallelNodes(e.resolveReception)
+		e.parallelNodes(e.deliver)
 	case DriverGoroutinePerNode:
-		// Reception outcomes must be resolved before processes observe
-		// them; resolve centrally, then let nodes consume their slot.
-		for u := range e.procs {
-			e.resolveReception0(u)
-		}
-	}
-
-	// Stats and delivery. Delivery mutates process state; under the
-	// goroutine-per-node driver each node consumes its own slot.
-	if e.driver == DriverGoroutinePerNode {
 		e.nodePhase(cmdReceive)
 	}
+
+	// Stats fall out of the scatter counts: a listener with two or more
+	// transmitting neighbors in the round topology lost the round to
+	// interference.
 	txBefore, delBefore, colBefore := e.trace.Transmissions, e.trace.Deliveries, e.trace.Collisions
 	for u := range e.procs {
 		if e.transmit[u] {
 			e.trace.Transmissions++
+			continue
 		}
 		if e.rxOK[u] {
 			e.trace.Deliveries++
-		} else {
-			e.countCollision(u)
+		} else if e.rxStamp[u] == t && e.rxCount[u] >= 2 {
+			e.trace.Collisions++
 		}
 	}
 	if e.trace.SampleRounds {
@@ -233,51 +269,49 @@ func (e *Engine) Step() {
 	}
 }
 
-// resolveReception0 computes the reception outcome for node u into the
-// rxFrom/rxOK slots without delivering it.
-func (e *Engine) resolveReception0(u int) {
-	e.rxOK[u] = false
-	e.rxFrom[u] = NoTransmitter
-	if e.transmit[u] {
-		return // transmitters do not receive
+// scatter walks the round's transmitters and bumps the reception count of
+// every node they reach through the round topology, recording the (unique,
+// if count stays 1) transmitter in rxFrom. Round stamps make the count
+// arrays self-clearing: a node whose stamp is stale has count zero.
+func (e *Engine) scatter(t int) {
+	e.txList = e.txList[:0]
+	for u, tx := range e.transmit {
+		if tx {
+			e.txList = append(e.txList, int32(u))
+		}
 	}
-	count := 0
-	var from int32 = NoTransmitter
-	for _, v := range e.dual.G.Neighbors(u) {
-		if e.transmit[v] {
-			count++
-			from = v
-			if count > 1 {
-				break
+	gOff, gTgt := e.gCSR.Off, e.gCSR.Targets
+	uOff, uPeers, uEdges := e.uCSR.Off, e.uCSR.Peers, e.uCSR.Edges
+	for _, v := range e.txList {
+		for i := gOff[v]; i < gOff[v+1]; i++ {
+			u := gTgt[i]
+			if e.rxStamp[u] != t {
+				e.rxStamp[u] = t
+				e.rxCount[u] = 1
+				e.rxFrom[u] = v
+			} else {
+				e.rxCount[u]++
+			}
+		}
+		for i := uOff[v]; i < uOff[v+1]; i++ {
+			if !e.included[uEdges[i]] {
+				continue
+			}
+			u := uPeers[i]
+			if e.rxStamp[u] != t {
+				e.rxStamp[u] = t
+				e.rxCount[u] = 1
+				e.rxFrom[u] = v
+			} else {
+				e.rxCount[u]++
 			}
 		}
 	}
-	if count <= 1 {
-		for _, arc := range e.dual.UnreliableIncidence(u) {
-			if e.included[arc.EdgeIndex()] && e.transmit[arc.Peer()] {
-				count++
-				from = arc.Peer()
-				if count > 1 {
-					break
-				}
-			}
-		}
-	}
-	if count == 1 {
-		e.rxOK[u] = true
-		e.rxFrom[u] = from
-	}
 }
 
-// resolveReception computes and immediately delivers node u's reception.
-func (e *Engine) resolveReception(u int) {
-	e.resolveReception0(u)
-	e.deliver(u)
-}
-
-// deliver invokes Receive for node u from the resolved slots and accounts
-// for collisions. Collision counting re-derives "two or more transmitting
-// neighbors" from the failure case to avoid a second scan on success.
+// deliver invokes Receive for node u from the resolved slots. Successful
+// receptions read the transmitter's payload from its slot in the shared
+// payload table.
 func (e *Engine) deliver(u int) {
 	t := e.round
 	if e.rxOK[u] {
@@ -286,28 +320,6 @@ func (e *Engine) deliver(u int) {
 		return
 	}
 	e.procs[u].Receive(t, NoTransmitter, nil, false)
-}
-
-// countCollisions tallies listener-rounds lost to interference for the
-// statistics counters. Called only for listeners that received ⊥.
-func (e *Engine) countCollision(u int) {
-	if e.transmit[u] || e.rxOK[u] {
-		return
-	}
-	count := 0
-	for _, v := range e.dual.G.Neighbors(u) {
-		if e.transmit[v] {
-			count++
-		}
-	}
-	for _, arc := range e.dual.UnreliableIncidence(u) {
-		if e.included[arc.EdgeIndex()] && e.transmit[arc.Peer()] {
-			count++
-		}
-	}
-	if count >= 2 {
-		e.trace.Collisions++
-	}
 }
 
 // parallelNodes applies fn to every node index using the worker pool.

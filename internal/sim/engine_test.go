@@ -568,3 +568,41 @@ func BenchmarkEngineRound(b *testing.B) {
 		})
 	}
 }
+
+// quietCoinProc transmits by private coin with a pre-boxed payload and
+// records nothing: the pure engine round path.
+type quietCoinProc struct {
+	env     *NodeEnv
+	p       float64
+	payload any
+}
+
+func (c *quietCoinProc) Init(env *NodeEnv) { c.env = env; c.payload = env.ID }
+
+func (c *quietCoinProc) Transmit(t int) (any, bool) {
+	return c.payload, c.env.Rng.Coin(c.p)
+}
+
+func (c *quietCoinProc) Receive(int, int, any, bool) {}
+
+// TestStepSteadyStateZeroAlloc pins the scatter kernel's allocation
+// contract: once the engine is warm, a round allocates nothing — no payload
+// boxing, no schedule scratch, no per-listener scans buffers.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	d, err := dualgraph.RandomGeometric(150, 6, 6, 1.6, dualgraph.GreyUnreliable, benchRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]Process, d.N())
+	for u := range procs {
+		procs[u] = &quietCoinProc{p: 0.25}
+	}
+	e, err := New(Config{Dual: d, Procs: procs, Sched: sched.Random{P: 0.5, Seed: 8}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10) // warm up scratch
+	if avg := testing.AllocsPerRun(200, e.Step); avg != 0 {
+		t.Errorf("Step allocates %v objects per round in steady state, want 0", avg)
+	}
+}

@@ -65,6 +65,19 @@ type LinkScheduler interface {
 	Included(t int, edge int) bool
 }
 
+// BatchLinkScheduler is an optional fast path for LinkScheduler: the engine
+// hands the scheduler the round's whole inclusion mask (indexed by
+// unreliable edge) to fill in one call, avoiding one interface dispatch per
+// edge per round. Implementations must overwrite every entry of mask and
+// must agree with Included: mask[i] == Included(t, i) for all i.
+//
+// Schedulers that do not implement it run through a per-edge compatibility
+// shim in the engine.
+type BatchLinkScheduler interface {
+	LinkScheduler
+	IncludedBatch(t int, mask []bool)
+}
+
 // TransmitterAware is implemented by adaptive (non-oblivious) schedulers.
 // The engine calls ObserveTransmitters after transmit decisions are fixed
 // and before Included is queried for round t, giving the adversary exactly

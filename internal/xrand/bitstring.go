@@ -81,8 +81,18 @@ func (b *BitString) Consume(k int) (v uint64, ok bool) {
 	if k < 0 || k > 64 || b.Remaining() < k {
 		return 0, false
 	}
-	for i := 0; i < k; i++ {
-		v |= uint64(b.Bit(b.cur+i)) << uint(i)
+	if k == 0 {
+		return 0, true
+	}
+	// Little-endian extraction straight from the word array: the k bits
+	// span at most two words.
+	i, off := b.cur/64, uint(b.cur)%64
+	v = b.words[i] >> off
+	if rem := 64 - int(off); rem < k {
+		v |= b.words[i+1] << uint(rem)
+	}
+	if k < 64 {
+		v &= 1<<uint(k) - 1
 	}
 	b.cur += k
 	return v, true
@@ -95,6 +105,36 @@ func (b *BitString) Clone() *BitString {
 	words := make([]uint64, len(b.words))
 	copy(words, b.words)
 	return &BitString{words: words, n: b.n, cur: b.cur}
+}
+
+// Refill redraws b's contents in place from src and rewinds the cursor. It
+// draws exactly the words NewBitString(src, b.Len()) would, so a Refill is
+// interchangeable with a fresh allocation on the same randomness stream —
+// the allocation-free path for callers that redraw a seed every phase.
+// Any other holder of b observes the mutation; callers must own b
+// exclusively or know every alias is dead (LBAlg clones committed seeds
+// before the owner's next refill).
+func (b *BitString) Refill(src *Source) {
+	for i := range b.words {
+		b.words[i] = src.Uint64()
+	}
+	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+	b.cur = 0
+}
+
+// CopyFrom overwrites b with o's contents, length and cursor — an
+// allocation-free Clone into an existing bit string. The word buffer is
+// reused when capacities allow.
+func (b *BitString) CopyFrom(o *BitString) {
+	if cap(b.words) < len(o.words) {
+		b.words = make([]uint64, len(o.words))
+	}
+	b.words = b.words[:len(o.words)]
+	copy(b.words, o.words)
+	b.n = o.n
+	b.cur = o.cur
 }
 
 // Equal reports whether two bit strings have identical content (cursor
