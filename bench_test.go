@@ -117,10 +117,23 @@ func BenchmarkNetworkRound(b *testing.B) {
 // proportional to the transmitter neighborhoods, not to Σ deg over all
 // listeners, so rounds stay cheap as the network grows.
 func BenchmarkNetworkRoundLarge(b *testing.B) {
-	nw, err := NewRandomGeometric(1000, 13, 13, 1.5, WithSeed(1), WithEpsilon(0.25))
+	benchmarkNetworkRoundLarge(b, DriverSequential)
+}
+
+// BenchmarkNetworkRoundLargeParallel is the same workload under the
+// worker-pool driver: transmit/deliver phases fan out over the pool and the
+// scatter itself is sharded across workers with a deterministic merge, so
+// the execution (and its trace) is identical to the sequential run.
+func BenchmarkNetworkRoundLargeParallel(b *testing.B) {
+	benchmarkNetworkRoundLarge(b, DriverWorkerPool)
+}
+
+func benchmarkNetworkRoundLarge(b *testing.B, driver Driver) {
+	nw, err := NewRandomGeometric(1000, 13, 13, 1.5, WithSeed(1), WithEpsilon(0.25), WithDriver(driver))
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(nw.Close)
 	for u := 0; u < nw.Size(); u += 20 {
 		if _, err := nw.Broadcast(u, u); err != nil {
 			b.Fatal(err)

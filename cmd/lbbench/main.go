@@ -4,13 +4,24 @@
 // Usage:
 //
 //	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
-//	lbbench -benchjson BENCH_pr1.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
+//	lbbench -benchjson BENCH_pr2.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
+//	lbbench -sweep [-sweepn 100,1000,10000,100000] [-benchjson BENCH_pr2.json]
+//	lbbench -baseline BENCH_pr1.json -gobench gotest.txt [-gatebench BenchmarkNetworkRound] [-gatelimit 1.20]
 //
 // With -benchjson, lbbench measures each selected experiment (ns/op,
 // B/op, allocs/op) instead of rendering tables and writes the
 // machine-readable BENCH_*.json used to track the performance trajectory
 // across PRs; -gobench merges a saved `go test -bench` output into the
 // same file.
+//
+// With -sweep, lbbench measures raw engine round throughput across
+// n × scheduler × driver (the large-n scaling sweep); combined with
+// -benchjson the points are embedded in the JSON's "sweep" section,
+// otherwise the table is printed.
+//
+// With -baseline, lbbench compares the -gobench measurements against the
+// named benchmarks in a committed BENCH_*.json and exits non-zero when
+// ns/op regressed by more than -gatelimit× — the CI regression gate.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,8 +44,14 @@ func main() {
 		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
 		benchJSON = flag.String("benchjson", "", "measure experiments and write BENCH_*.json to this path instead of rendering tables")
 		benchIt   = flag.Int("benchiters", 1, "iterations per experiment for -benchjson")
-		goBench   = flag.String("gobench", "", "merge a saved `go test -bench` output file into -benchjson")
+		goBench   = flag.String("gobench", "", "merge a saved `go test -bench` output file into -benchjson (also the input of -baseline)")
 		noteFlag  = flag.String("note", "", "free-form note recorded in -benchjson (e.g. the baseline being compared against)")
+		sweep     = flag.Bool("sweep", false, "run the engine scaling sweep (n × scheduler × driver)")
+		sweepN    = flag.String("sweepn", "100,1000,10000,100000", "comma-separated network sizes for -sweep")
+		sweepP    = flag.Float64("sweepp", 0.1, "per-node transmit probability for -sweep")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -gobench measurements against")
+		gateBench = flag.String("gatebench", "BenchmarkNetworkRound", "comma-separated benchmark names for the -baseline gate")
+		gateLimit = flag.Float64("gatelimit", 1.20, "fail the -baseline gate when current/baseline ns/op exceeds this ratio")
 	)
 	flag.Parse()
 
@@ -44,10 +62,43 @@ func main() {
 		return
 	}
 
+	if *baseline != "" {
+		if err := runGate(*baseline, *goBench, *gateBench, *gateLimit); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	size, err := exp.ParseSize(*sizeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	var sweepPoints []exp.SweepPoint
+	if *sweep {
+		ns, err := parseSweepNs(*sweepN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sweepPoints, err = exp.RunScalingSweep(ns, *seedFlag, *sweepP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *benchJSON == "" {
+			if err := exp.SweepTable(sweepPoints).Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := exp.SweepTable(sweepPoints).Render(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	var todo []exp.Experiment
@@ -65,7 +116,8 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt, *goBench, *noteFlag); err != nil {
+		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt,
+			*goBench, *noteFlag, sweepPoints); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -94,15 +146,86 @@ func main() {
 	}
 }
 
+// parseSweepNs parses the -sweepn list.
+func parseSweepNs(s string) ([]int, error) {
+	var ns []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sweepn entry %q: %w", f, err)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("-sweepn is empty")
+	}
+	return ns, nil
+}
+
+// runGate compares the current -gobench measurements against the committed
+// baseline file and fails on a >limit× ns/op regression. Both sides take the
+// minimum over repeated runs of the same benchmark (use `go test -count N`),
+// damping scheduler noise.
+func runGate(baselinePath, goBenchPath, names string, limit float64) error {
+	if goBenchPath == "" {
+		return fmt.Errorf("-baseline needs -gobench with the current `go test -bench` output")
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := exp.ReadBenchFile(bf)
+	if err != nil {
+		return err
+	}
+	gf, err := os.Open(goBenchPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	gb, err := exp.ParseGoBench(gf)
+	if err != nil {
+		return err
+	}
+	cur := exp.BenchFile{GoTest: gb}
+
+	failed := 0
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		baseNs, ok := base.MinGoBenchNs(name)
+		if !ok {
+			return fmt.Errorf("baseline %s has no entry for %s", baselinePath, name)
+		}
+		curNs, ok := cur.MinGoBenchNs(name)
+		if !ok {
+			return fmt.Errorf("%s has no entry for %s", goBenchPath, name)
+		}
+		ratio := curNs / baseNs
+		status := "ok"
+		if ratio > limit {
+			status = fmt.Sprintf("REGRESSION (> %.2fx)", limit)
+			failed++
+		}
+		fmt.Printf("%-32s baseline %12.0f ns/op  current %12.0f ns/op  ratio %.3f  %s\n",
+			name, baseNs, curNs, ratio, status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx of %s", failed, limit, baselinePath)
+	}
+	return nil
+}
+
 // writeBenchJSON measures every selected experiment and writes the
 // machine-readable benchmark file.
 func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName string,
-	seed uint64, iters int, goBenchPath, note string) error {
+	seed uint64, iters int, goBenchPath, note string, sweepPoints []exp.SweepPoint) error {
 	file := exp.BenchFile{
 		Note:      note,
 		GoVersion: runtime.Version(),
 		Size:      sizeName,
 		Seed:      seed,
+		Sweep:     sweepPoints,
 	}
 	for _, e := range todo {
 		r, err := exp.MeasureExperiment(e, size, seed, iters)

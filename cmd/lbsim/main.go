@@ -83,7 +83,7 @@ func run(topo string, n int, r, eps float64, schedName string, schedP float64, p
 	case "always":
 		linkSched = sched.Always{}
 	case "random":
-		linkSched = sched.Random{P: schedP, Seed: seed}
+		linkSched = sched.NewRandom(schedP, seed)
 	case "periodic":
 		linkSched = sched.Periodic{Period: 8, OnRounds: 3}
 	case "antidecay":
@@ -127,7 +127,7 @@ func run(topo string, n int, r, eps float64, schedName string, schedP float64, p
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d events)\n", traceFile, len(tr.Events))
+		fmt.Printf("trace written to %s (%d events)\n", traceFile, tr.Len())
 	}
 	rep := lbspec.Check(d, tr, p.TAckBound(), p.TProgBound())
 

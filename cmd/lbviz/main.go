@@ -123,7 +123,7 @@ func timeline(d *dualgraph.Dual, seed uint64, phases int) error {
 	env := core.NewSaturatingEnv(svcs, senders)
 	tr := &sim.Trace{SampleRounds: true}
 	e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-		Sched: sched.Random{P: 0.5, Seed: seed}, Env: env, Seed: seed, Trace: tr})
+		Sched: sched.NewRandom(0.5, seed), Env: env, Seed: seed, Trace: tr})
 	if err != nil {
 		return err
 	}

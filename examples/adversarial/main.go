@@ -98,10 +98,10 @@ func firstHear(d *dualgraph.Dual, algo string, s sim.LinkScheduler, seed uint64)
 	seen := 0
 	for r := 0; r < maxRounds; r++ {
 		e.Step()
-		evs := e.Trace().Events
-		for ; seen < len(evs); seen++ {
-			if evs[seen].Kind == sim.EvHear && evs[seen].Node == 0 {
-				return evs[seen].Round, nil
+		tr := e.Trace()
+		for ; seen < tr.Len(); seen++ {
+			if ev := tr.At(seen); ev.Kind == sim.EvHear && ev.Node == 0 {
+				return ev.Round, nil
 			}
 		}
 	}

@@ -44,7 +44,7 @@ func main() {
 	}
 	flood := amac.NewFlood(layers)
 	e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-		Sched: sched.Random{P: 0.6, Seed: 3}, Env: flood, Seed: 11})
+		Sched: sched.NewRandom(0.6, 3), Env: flood, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

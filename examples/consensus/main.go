@@ -50,7 +50,7 @@ func main() {
 	}
 
 	e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-		Sched: sched.Random{P: 0.5, Seed: 9}, Env: cons, Seed: 10})
+		Sched: sched.NewRandom(0.5, 9), Env: cons, Seed: 10})
 	if err != nil {
 		log.Fatal(err)
 	}

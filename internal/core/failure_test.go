@@ -108,7 +108,7 @@ func TestLBAlgUnderGoroutineDriver(t *testing.T) {
 		}
 		e.Run(2 * p.PhaseLen())
 		e.Close()
-		return len(e.Trace().Events), e.Trace().Deliveries
+		return e.Trace().Len(), e.Trace().Deliveries
 	}
 	seqEvents, seqDel := run(sim.DriverSequential)
 	goEvents, goDel := run(sim.DriverGoroutinePerNode)

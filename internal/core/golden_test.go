@@ -44,15 +44,17 @@ func TestGoldenExecution(t *testing.T) {
 	tr := e.Trace()
 	// Fingerprint: aggregate counters plus a positional checksum of events.
 	var checksum uint64
-	for i, ev := range tr.Events {
+	i := 0
+	for ev := range tr.Events() {
 		checksum = checksum*1099511628211 ^
 			uint64(ev.Round)<<32 ^ uint64(ev.Node)<<16 ^ uint64(ev.Kind)<<8 ^
 			uint64(int64(ev.MsgID)) ^ uint64(i)
+		i++
 	}
 
 	got := goldenFingerprint{
 		Rounds:        tr.RoundsRun,
-		Events:        len(tr.Events),
+		Events:        tr.Len(),
 		Transmissions: tr.Transmissions,
 		Deliveries:    tr.Deliveries,
 		Collisions:    tr.Collisions,

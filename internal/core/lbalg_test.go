@@ -29,6 +29,7 @@ func buildLB(t testing.TB, d *dualgraph.Dual, p Params, s sim.LinkScheduler, env
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	return e, procs
 }
 
@@ -159,7 +160,7 @@ func TestValidityOnTrace(t *testing.T) {
 	e.Run(3 * p.PhaseLen())
 
 	active := map[sim.MsgID][2]int{} // msg → [bcast round, ack round]
-	for _, ev := range e.Trace().Events {
+	for ev := range e.Trace().Events() {
 		switch ev.Kind {
 		case sim.EvBcast:
 			active[ev.MsgID] = [2]int{ev.Round, 1 << 30}
@@ -269,7 +270,7 @@ func TestDeterministicExecution(t *testing.T) {
 			return NewSaturatingEnv(procs, []int{0})
 		}, 42)
 		e.Run(2 * p.PhaseLen())
-		return e.Trace().Transmissions, len(e.Trace().Events)
+		return e.Trace().Transmissions, e.Trace().Len()
 	}
 	t1, e1 := run()
 	t2, e2 := run()

@@ -46,7 +46,7 @@ func runAblationSeedFreq(size Size, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSaturatingEnv(svcs, senderRange(3))
 		}, seed+uint64(k), true)
 		if err != nil {
@@ -89,7 +89,7 @@ func runConstants(size Size, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSaturatingEnv(svcs, senderRange(3))
 		}, seed+uint64(c1*10), true)
 		if err != nil {
@@ -118,7 +118,7 @@ func runConstants(size Size, seed uint64) (*Result, error) {
 		for i := range sends {
 			sends[i] = core.Send{Node: i % delta, Round: 1 + i*p.TAckBound(), Payload: i}
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSingleShotEnv(svcs, sends)
 		}, seed+uint64(cAck*100), true)
 		if err != nil {

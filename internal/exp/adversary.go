@@ -176,9 +176,9 @@ func heardAllRound(e *sim.Engine, receiver, want, maxRounds int) (allAt, firstAt
 	firstAt = maxRounds
 	for r := 0; r < maxRounds; r++ {
 		e.Step()
-		evs := e.Trace().Events
-		for ; seen < len(evs); seen++ {
-			ev := evs[seen]
+		tr := e.Trace()
+		for ; seen < tr.Len(); seen++ {
+			ev := tr.At(seen)
 			if ev.Kind != sim.EvHear || ev.Node != receiver {
 				continue
 			}
@@ -213,7 +213,7 @@ func runAdaptive(size Size, seed uint64) (*Result, error) {
 	maxRounds := budgetPhases * p.PhaseLen()
 
 	run := func(adaptive bool, seed uint64) (int, error) {
-		var s sim.LinkScheduler = sched.Random{P: 0.5, Seed: seed}
+		var s sim.LinkScheduler = sched.NewRandom(0.5, seed)
 		if adaptive {
 			a, err := sched.NewAdaptive(d, 0)
 			if err != nil {

@@ -43,6 +43,7 @@ type BenchFile struct {
 	Seed      uint64        `json:"seed"`
 	Results   []BenchResult `json:"results"`
 	GoTest    []GoBench     `json:"go_test,omitempty"`
+	Sweep     []SweepPoint  `json:"sweep,omitempty"`
 }
 
 // WriteJSON renders the file with stable formatting.
@@ -50,6 +51,37 @@ func (f BenchFile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(f)
+}
+
+// ReadBenchFile parses a BENCH_*.json file, e.g. a committed baseline for
+// the CI regression gate.
+func ReadBenchFile(r io.Reader) (BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return BenchFile{}, fmt.Errorf("exp: decoding bench file: %w", err)
+	}
+	return f, nil
+}
+
+// MinGoBenchNs returns the minimum ns/op recorded for the named go-test
+// benchmark (benchmarks may appear multiple times under -count), or ok=false
+// if the file has no entry for it. Names match on the base benchmark name,
+// ignoring any -cpus suffix (e.g. "BenchmarkNetworkRound-8").
+func (f BenchFile) MinGoBenchNs(name string) (float64, bool) {
+	best, ok := 0.0, false
+	for _, b := range f.GoTest {
+		base := b.Name
+		if i := strings.IndexByte(base, '-'); i >= 0 {
+			base = base[:i]
+		}
+		if base != name {
+			continue
+		}
+		if !ok || b.NsPerOp < best {
+			best, ok = b.NsPerOp, true
+		}
+	}
+	return best, ok
 }
 
 // MeasureExperiment runs the experiment iters times (varying the seed per

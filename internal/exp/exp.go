@@ -131,9 +131,9 @@ func firstHearRound(e *sim.Engine, node, maxRounds int) int {
 	seen := 0
 	for r := 0; r < maxRounds; r++ {
 		e.Step()
-		evs := e.Trace().Events
-		for ; seen < len(evs); seen++ {
-			ev := evs[seen]
+		tr := e.Trace()
+		for ; seen < tr.Len(); seen++ {
+			ev := tr.At(seen)
 			if ev.Kind == sim.EvHear && ev.Node == node {
 				return ev.Round
 			}

@@ -54,7 +54,7 @@ func runLocality(size Size, seed uint64) (*Result, error) {
 		for u := 0; u < n; u += 10 {
 			senders = append(senders, u)
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSaturatingEnv(svcs, senders)
 		}, seed+uint64(n), true)
 		if err != nil {

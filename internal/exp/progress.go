@@ -50,7 +50,7 @@ func runProgress(size Size, seed uint64) (*Result, error) {
 		if senders > delta-1 {
 			senders = delta - 1
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSaturatingEnv(svcs, senderRange(senders))
 		}, seed+uint64(delta), true)
 		if err != nil {
@@ -105,7 +105,7 @@ func runAck(size Size, seed uint64) (*Result, error) {
 			// any send that lands while its node is still active.
 			sends[i] = core.Send{Node: i % delta, Round: 1 + i*p.TAckBound(), Payload: i}
 		}
-		net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+		net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 			return core.NewSingleShotEnv(svcs, sends)
 		}, seed+uint64(delta)*13, true)
 		if err != nil {
@@ -150,7 +150,7 @@ func runRecvProb(size Size, seed uint64) (*Result, error) {
 	}
 	receiver := delta - 1
 	senders := senderRange(delta - 1)
-	net, err := buildLBNetwork(d, p, sched.Random{P: 0.5, Seed: seed}, func(svcs []core.Service) sim.Environment {
+	net, err := buildLBNetwork(d, p, sched.NewRandom(0.5, seed), func(svcs []core.Service) sim.Environment {
 		return core.NewSaturatingEnv(svcs, senders)
 	}, seed, true)
 	if err != nil {
@@ -223,7 +223,7 @@ func runDeterministic(size Size, seed uint64) (*Result, error) {
 	workloads := []workload{
 		{"cluster/never", func() (*dualgraph.Dual, error) { return dualgraph.SingleHopCluster(8, 1, rng) }, sched.Never{}},
 		{"cluster/always", func() (*dualgraph.Dual, error) { return dualgraph.SingleHopCluster(8, 1, rng) }, sched.Always{}},
-		{"two-tier/random", func() (*dualgraph.Dual, error) { return dualgraph.TwoTierClusters(3, 4, 2, rng) }, sched.Random{P: 0.5, Seed: seed}},
+		{"two-tier/random", func() (*dualgraph.Dual, error) { return dualgraph.TwoTierClusters(3, 4, 2, rng) }, sched.NewRandom(0.5, seed)},
 		{"line/periodic", func() (*dualgraph.Dual, error) { return dualgraph.Line(12, 1, 1.5, rng) }, sched.Periodic{Period: 7, OnRounds: 3}},
 		{"geometric/antidecay", func() (*dualgraph.Dual, error) {
 			return dualgraph.RandomGeometric(60, 4, 4, 1.5, dualgraph.GreyUnreliable, rng)
@@ -251,7 +251,7 @@ func runDeterministic(size Size, seed uint64) (*Result, error) {
 		}
 		net.engine.Run(phases * p.PhaseLen())
 		rep := lbspec.Check(d, net.engine.Trace(), p.TAckBound(), p.TProgBound())
-		tbl.AddRow(w.name, net.engine.Round(), len(net.engine.Trace().Events), len(rep.Violations))
+		tbl.AddRow(w.name, net.engine.Round(), net.engine.Trace().Len(), len(rep.Violations))
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("E-DET %s: %w", w.name, err)
 		}

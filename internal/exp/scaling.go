@@ -1,0 +1,153 @@
+// This file implements the scaling sweep: raw round throughput of the
+// engine across network sizes, schedulers and drivers. It is the capstone
+// measurement for the large-n experiments named in ROADMAP (contention
+// management, SINR comparison): they only become feasible once rounds/sec
+// stays healthy at n ≥ 10⁴, which is exactly what the sweep records into
+// BENCH_*.json.
+
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/xrand"
+)
+
+// SweepPoint is one (n, scheduler, driver) scaling measurement.
+type SweepPoint struct {
+	N            int     `json:"n"`
+	Scheduler    string  `json:"scheduler"`
+	Driver       string  `json:"driver"`
+	Workers      int     `json:"workers,omitempty"`
+	Rounds       int     `json:"rounds"`
+	NsPerRound   int64   `json:"ns_per_round"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+// sweepProc is the synthetic workload of the sweep: transmit by private coin
+// with a pre-boxed payload, record a hear event per reception. It exercises
+// the full steady-state round path — transmit fan-out, schedule resolution,
+// scatter, delivery and trace recording — without protocol logic on top.
+type sweepProc struct {
+	env     *sim.NodeEnv
+	p       float64
+	payload any
+}
+
+func (s *sweepProc) Init(env *sim.NodeEnv) { s.env = env; s.payload = env.ID }
+
+func (s *sweepProc) Transmit(t int) (any, bool) {
+	return s.payload, s.env.Rng.Coin(s.p)
+}
+
+func (s *sweepProc) Receive(t, from int, payload any, ok bool) {
+	if ok {
+		s.env.Rec.Record(sim.Event{Round: t, Node: s.env.ID, Kind: sim.EvHear, From: from})
+	}
+}
+
+// sweepRounds picks the round budget for one point: enough node-rounds for a
+// stable timing without making the 10⁵ points take minutes.
+func sweepRounds(n int) int {
+	r := 2_000_000 / n
+	if r < 20 {
+		return 20
+	}
+	return r
+}
+
+// RunScalingSweep measures rounds/sec for every n × scheduler × driver
+// combination. Each n gets one random geometric graph at constant density
+// (the area grows with n, so degree bounds — and with them per-round work
+// per transmitter — stay flat while n scales), shared by all points of
+// that n. txProb is the per-node transmit probability per round (0 picks
+// the default 0.1).
+func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, error) {
+	if txProb <= 0 {
+		txProb = 0.1
+	}
+	schedulers := []struct {
+		name string
+		s    sim.LinkScheduler
+	}{
+		{"never", sched.Never{}},
+		{"random½", sched.NewRandom(0.5, seed)},
+		{"always", sched.Always{}},
+	}
+	drivers := []struct {
+		name    string
+		d       sim.Driver
+		workers int
+	}{
+		{"sequential", sim.DriverSequential, 0},
+		{"workerpool", sim.DriverWorkerPool, runtime.GOMAXPROCS(0)},
+	}
+	var out []SweepPoint
+	for _, n := range ns {
+		if n < 2 {
+			return nil, fmt.Errorf("exp: sweep n=%d too small", n)
+		}
+		// Constant density ≈ 4 nodes per unit square keeps Δ and Δ′ flat
+		// across the sweep.
+		side := math.Max(4, math.Sqrt(float64(n)/4))
+		d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		rounds := sweepRounds(n)
+		for _, sc := range schedulers {
+			for _, dr := range drivers {
+				procs := make([]sim.Process, n)
+				for u := range procs {
+					procs[u] = &sweepProc{p: txProb}
+				}
+				e, err := sim.New(sim.Config{Dual: d, Procs: procs, Sched: sc.s,
+					Seed: seed, Driver: dr.d, Workers: dr.workers})
+				if err != nil {
+					return nil, err
+				}
+				e.Run(5) // warm scratch, shards and trace chunks
+				start := time.Now()
+				e.Run(rounds)
+				elapsed := time.Since(start)
+				e.Close()
+				nsPerRound := elapsed.Nanoseconds() / int64(rounds)
+				point := SweepPoint{
+					N:          n,
+					Scheduler:  sc.name,
+					Driver:     dr.name,
+					Workers:    dr.workers,
+					Rounds:     rounds,
+					NsPerRound: nsPerRound,
+				}
+				if nsPerRound > 0 {
+					point.RoundsPerSec = 1e9 / float64(nsPerRound)
+				}
+				out = append(out, point)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SweepTable renders sweep points as a stats table for terminal output.
+func SweepTable(points []SweepPoint) *stats.Table {
+	tbl := &stats.Table{
+		Title:   "engine scaling sweep: rounds/sec by n × scheduler × driver",
+		Columns: []string{"n", "scheduler", "driver", "rounds", "ns/round", "rounds/sec"},
+		Notes: []string{
+			"random geometric graphs at constant density (Δ, Δ′ flat across n); transmit probability 0.1",
+		},
+	}
+	for _, p := range points {
+		tbl.AddRow(p.N, p.Scheduler, p.Driver, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec))
+	}
+	return tbl
+}

@@ -68,7 +68,7 @@ func runSeedDelta(size Size, seed uint64) (*Result, error) {
 			var counts []float64
 			worst := 0
 			for trial := 0; trial < trials; trial++ {
-				procs, err := runSeedInstance(d, p, sched.Random{P: 0.5, Seed: seed + uint64(trial)}, seed+uint64(trial)*7919)
+				procs, err := runSeedInstance(d, p, sched.NewRandom(0.5, seed + uint64(trial)), seed+uint64(trial)*7919)
 				if err != nil {
 					return nil, err
 				}
@@ -148,7 +148,7 @@ func runSeedSpec(size Size, seed uint64) (*Result, error) {
 	schedulers := map[string]sim.LinkScheduler{
 		"never":   sched.Never{},
 		"always":  sched.Always{},
-		"random½": sched.Random{P: 0.5, Seed: seed},
+		"random½": sched.NewRandom(0.5, seed),
 	}
 
 	tbl := &stats.Table{

@@ -117,7 +117,7 @@ func Check(d *dualgraph.Dual, tr *sim.Trace, tack, tprog int) *Report {
 // collectSpans pairs bcast and ack events into active spans.
 func collectSpans(tr *sim.Trace, rep *Report) map[sim.MsgID]*Span {
 	spans := make(map[sim.MsgID]*Span)
-	for _, ev := range tr.Events {
+	for ev := range tr.Events() {
 		switch ev.Kind {
 		case sim.EvBcast:
 			if _, dup := spans[ev.MsgID]; dup {
@@ -180,7 +180,7 @@ func checkTimelyAck(tr *sim.Trace, spans map[sim.MsgID]*Span, tack int, rep *Rep
 func checkValidityAndReliability(d *dualgraph.Dual, tr *sim.Trace, spans map[sim.MsgID]*Span, rep *Report) {
 	// recvRound[msg][node] = round of the (unique) recv output.
 	recvRound := make(map[sim.MsgID]map[int]int)
-	for _, ev := range tr.Events {
+	for ev := range tr.Events() {
 		if ev.Kind != sim.EvRecv && ev.Kind != sim.EvHear {
 			continue
 		}
@@ -274,7 +274,7 @@ func checkProgress(d *dualgraph.Dual, tr *sim.Trace, spans map[sim.MsgID]*Span, 
 
 	// heard[u][i] = u heard some active message in phase i.
 	heard := make(map[int][]bool)
-	for _, ev := range tr.Events {
+	for ev := range tr.Events() {
 		if ev.Kind != sim.EvHear {
 			continue
 		}

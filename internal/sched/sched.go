@@ -35,6 +35,12 @@ func (Never) Included(int, int) bool { return false }
 // IncludedBatch implements sim.BatchLinkScheduler.
 func (Never) IncludedBatch(_ int, mask []bool) { fill(mask, false) }
 
+// Uniform implements sim.SparseLinkScheduler: every round is all-excluded.
+func (Never) Uniform(int) (bool, bool) { return false, true }
+
+// IncludedFor implements sim.SparseLinkScheduler.
+func (Never) IncludedFor(_ int, edges []int32, out []bool) { fill(out[:len(edges)], false) }
+
 // Always includes every unreliable edge in every round: communication
 // happens on G′ in full. Maximum steady contention.
 type Always struct{}
@@ -45,16 +51,60 @@ func (Always) Included(int, int) bool { return true }
 // IncludedBatch implements sim.BatchLinkScheduler.
 func (Always) IncludedBatch(_ int, mask []bool) { fill(mask, true) }
 
+// Uniform implements sim.SparseLinkScheduler: every round is all-included.
+func (Always) Uniform(int) (bool, bool) { return true, true }
+
+// IncludedFor implements sim.SparseLinkScheduler.
+func (Always) IncludedFor(_ int, edges []int32, out []bool) { fill(out[:len(edges)], true) }
+
 // Random includes each unreliable edge independently with probability P in
 // each round. The schedule is a deterministic hash of (Seed, t, edge), so it
 // is oblivious: re-querying never changes an answer and the execution's coin
 // flips cannot influence it.
+//
+// Construct with NewRandom to precompute the integer comparison threshold;
+// zero-value and literal construction remain valid (the threshold is then
+// derived on demand, one float op per batch call).
 type Random struct {
 	P    float64
 	Seed uint64
+
+	// thresh caches randThresh(P). Zero means "not cached": recompute.
+	// (For any P > 0, randThresh ≥ 1, so zero is unambiguous.)
+	thresh uint64
 }
 
-// Included implements sim.LinkScheduler.
+// NewRandom builds a Random scheduler with the inclusion threshold
+// precomputed, so steady-state rounds never touch the float path.
+func NewRandom(p float64, seed uint64) Random {
+	return Random{P: p, Seed: seed, thresh: randThresh(p)}
+}
+
+// randThresh compiles an inclusion probability to an integer threshold on
+// the top 53 bits of the edge hash: (h>>11)/2^53 < P exactly when
+// h>>11 < ⌈P·2^53⌉, the scaling by a power of two being lossless.
+func randThresh(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// threshold returns the cached comparison threshold, deriving it when the
+// value was constructed as a literal.
+func (s Random) threshold() uint64 {
+	if s.thresh != 0 {
+		return s.thresh
+	}
+	return randThresh(s.P)
+}
+
+// Included implements sim.LinkScheduler. Bit-identical to the batch and
+// sparse fills: all three compare the same 53-bit hash against the same
+// integer threshold.
 func (s Random) Included(t, edge int) bool {
 	if s.P <= 0 {
 		return false
@@ -62,15 +112,12 @@ func (s Random) Included(t, edge int) bool {
 	if s.P >= 1 {
 		return true
 	}
-	h := mix3(s.Seed, uint64(t), uint64(edge))
-	return float64(h>>11)/(1<<53) < s.P
+	return mix3(s.Seed, uint64(t), uint64(edge))>>11 < s.threshold()
 }
 
 // IncludedBatch implements sim.BatchLinkScheduler: one pass over the mask
 // with the hash inlined and the probability compiled to an integer
-// threshold, no per-edge dispatch or float conversion. Bit-identical to
-// Included: h>>11 is a 53-bit integer, so (h>>11)/2^53 < P exactly when
-// h>>11 < ⌈P·2^53⌉, the scaling by a power of two being lossless.
+// threshold, no per-edge dispatch or float conversion.
 func (s Random) IncludedBatch(t int, mask []bool) {
 	if s.P <= 0 {
 		fill(mask, false)
@@ -80,9 +127,31 @@ func (s Random) IncludedBatch(t int, mask []bool) {
 		fill(mask, true)
 		return
 	}
-	thresh := uint64(math.Ceil(s.P * (1 << 53)))
+	thresh := s.threshold()
 	for i := range mask {
 		mask[i] = mix3(s.Seed, uint64(t), uint64(i))>>11 < thresh
+	}
+}
+
+// Uniform implements sim.SparseLinkScheduler: only the degenerate
+// probabilities produce an edge-independent round.
+func (s Random) Uniform(int) (bool, bool) {
+	if s.P <= 0 {
+		return false, true
+	}
+	if s.P >= 1 {
+		return true, true
+	}
+	return false, false
+}
+
+// IncludedFor implements sim.SparseLinkScheduler: hash only the requested
+// edges — the engine passes the edges incident to this round's transmitters,
+// making sparse rounds independent of |E′\E|.
+func (s Random) IncludedFor(t int, edges []int32, out []bool) {
+	thresh := s.threshold()
+	for i, e := range edges {
+		out[i] = mix3(s.Seed, uint64(t), uint64(e))>>11 < thresh
 	}
 }
 
@@ -105,6 +174,15 @@ func (s Periodic) Included(t, _ int) bool {
 // IncludedBatch implements sim.BatchLinkScheduler. The decision is uniform
 // across edges, so the batch fill computes it once.
 func (s Periodic) IncludedBatch(t int, mask []bool) { fill(mask, s.Included(t, 0)) }
+
+// Uniform implements sim.SparseLinkScheduler: the cycle position decides the
+// whole round at once.
+func (s Periodic) Uniform(t int) (bool, bool) { return s.Included(t, 0), true }
+
+// IncludedFor implements sim.SparseLinkScheduler.
+func (s Periodic) IncludedFor(t int, edges []int32, out []bool) {
+	fill(out[:len(edges)], s.Included(t, 0))
+}
 
 // AntiDecay is the oblivious adversary sketched in the paper's introduction:
 // it knows that a fixed-schedule protocol (Decay, [2]) cycles through
@@ -144,6 +222,15 @@ func (s AntiDecay) Included(t, _ int) bool {
 // IncludedBatch implements sim.BatchLinkScheduler. The decision is uniform
 // across edges, so the batch fill computes it once.
 func (s AntiDecay) IncludedBatch(t int, mask []bool) { fill(mask, s.Included(t, 0)) }
+
+// Uniform implements sim.SparseLinkScheduler: the cycle position decides the
+// whole round at once.
+func (s AntiDecay) Uniform(t int) (bool, bool) { return s.Included(t, 0), true }
+
+// IncludedFor implements sim.SparseLinkScheduler.
+func (s AntiDecay) IncludedFor(t int, edges []int32, out []bool) {
+	fill(out[:len(edges)], s.Included(t, 0))
+}
 
 // TunedAntiDecay builds the adversary with the split that minimises the
 // victim's per-cycle delivery probability, given the number of saturated
@@ -257,6 +344,22 @@ func (a *Adaptive) IncludedBatch(t int, mask []bool) {
 	fill(mask, false)
 	if t == a.curRound && a.chosenEdge >= 0 && a.chosenEdge < len(mask) {
 		mask[a.chosenEdge] = true
+	}
+}
+
+// Uniform implements sim.SparseLinkScheduler: rounds without a manufactured
+// collision are all-excluded; a round with a chosen edge is non-uniform.
+func (a *Adaptive) Uniform(t int) (bool, bool) {
+	if t == a.curRound && a.chosenEdge >= 0 {
+		return false, false
+	}
+	return false, true
+}
+
+// IncludedFor implements sim.SparseLinkScheduler.
+func (a *Adaptive) IncludedFor(t int, edges []int32, out []bool) {
+	for i, e := range edges {
+		out[i] = t == a.curRound && int(e) == a.chosenEdge
 	}
 }
 

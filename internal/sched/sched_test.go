@@ -359,3 +359,89 @@ func TestAdaptiveDeterministicChoice(t *testing.T) {
 		}
 	}
 }
+
+// TestRandomPathsBitIdentical pins the contract that Included, IncludedBatch
+// and IncludedFor — and the cached NewRandom construction vs a plain literal
+// — produce bit-identical schedules across edge-case probabilities: 0,
+// subnormal-small, ½, the largest float below 1, and 1.
+func TestRandomPathsBitIdentical(t *testing.T) {
+	ps := []float64{0, 1e-18, 0.5, math.Nextafter(1, 0), 1}
+	const edges = 257
+	edgeIDs := make([]int32, edges)
+	for i := range edgeIDs {
+		edgeIDs[i] = int32(i)
+	}
+	mask := make([]bool, edges)
+	sub := make([]bool, edges)
+	for _, p := range ps {
+		cached := NewRandom(p, 12345)
+		literal := Random{P: p, Seed: 12345}
+		for _, round := range []int{1, 2, 100, 1 << 20} {
+			cached.IncludedBatch(round, mask)
+			cached.IncludedFor(round, edgeIDs, sub)
+			for e := 0; e < edges; e++ {
+				want := literal.Included(round, e)
+				if got := cached.Included(round, e); got != want {
+					t.Fatalf("P=%v round=%d edge=%d: cached Included=%v, literal=%v", p, round, e, got, want)
+				}
+				if mask[e] != want {
+					t.Fatalf("P=%v round=%d edge=%d: IncludedBatch=%v, Included=%v", p, round, e, mask[e], want)
+				}
+				if sub[e] != want {
+					t.Fatalf("P=%v round=%d edge=%d: IncludedFor=%v, Included=%v", p, round, e, sub[e], want)
+				}
+			}
+		}
+		if v, ok := cached.Uniform(1); ok {
+			for e := 0; e < edges; e++ {
+				if cached.Included(1, e) != v {
+					t.Fatalf("P=%v: Uniform=(%v,true) but Included(1,%d)=%v", p, v, e, cached.Included(1, e))
+				}
+			}
+		} else if p <= 0 || p >= 1 {
+			t.Fatalf("P=%v: degenerate probability must report a uniform round", p)
+		}
+	}
+}
+
+// TestSparseAgreesWithBatch cross-checks every scheduler's sparse interface
+// (Uniform + IncludedFor) against its batch mask over many rounds.
+func TestSparseAgreesWithBatch(t *testing.T) {
+	const edges = 64
+	edgeIDs := make([]int32, edges)
+	for i := range edgeIDs {
+		edgeIDs[i] = int32(i)
+	}
+	cases := []struct {
+		name string
+		s    interface {
+			Included(int, int) bool
+			IncludedBatch(int, []bool)
+			Uniform(int) (bool, bool)
+			IncludedFor(int, []int32, []bool)
+		}
+	}{
+		{"never", Never{}},
+		{"always", Always{}},
+		{"random", NewRandom(0.3, 99)},
+		{"periodic", Periodic{Period: 5, OnRounds: 2}},
+		{"antidecay", AntiDecay{CycleLen: 4}},
+	}
+	mask := make([]bool, edges)
+	sub := make([]bool, edges)
+	for _, c := range cases {
+		for round := 1; round <= 40; round++ {
+			c.s.IncludedBatch(round, mask)
+			c.s.IncludedFor(round, edgeIDs, sub)
+			uv, uok := c.s.Uniform(round)
+			for e := 0; e < edges; e++ {
+				if sub[e] != mask[e] {
+					t.Fatalf("%s round %d edge %d: IncludedFor=%v, IncludedBatch=%v", c.name, round, e, sub[e], mask[e])
+				}
+				if uok && mask[e] != uv {
+					t.Fatalf("%s round %d edge %d: Uniform=(%v,true) but mask=%v", c.name, round, e, uv, mask[e])
+				}
+			}
+		}
+	}
+}

@@ -3,7 +3,9 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/xrand"
@@ -17,7 +19,9 @@ const (
 	// goroutine. The reference implementation.
 	DriverSequential Driver = iota + 1
 	// DriverWorkerPool fans node steps out over a bounded worker pool,
-	// with barriers between the transmit and receive phases.
+	// with barriers between the transmit and receive phases. The scatter
+	// itself is sharded across the workers when the transmitter set is
+	// large enough to pay for the fan-out.
 	DriverWorkerPool
 	// DriverGoroutinePerNode runs every simulated process as its own
 	// goroutine — the natural Go rendering of "one process per device" —
@@ -45,12 +49,44 @@ type Config struct {
 	Trace *Trace
 }
 
+// inclusionMode describes how the current round's unreliable-edge inclusion
+// is resolved during the scatter.
+type inclusionMode uint8
+
+const (
+	// incNone: no unreliable edge is included this round.
+	incNone inclusionMode = iota
+	// incAll: every unreliable edge is included this round.
+	incAll
+	// incMask: e.included holds the round's full inclusion mask.
+	incMask
+	// incSparse: query e.sparse.IncludedFor on transmitter-incident edges.
+	incSparse
+)
+
+// parallelScatterMinTx is the transmitter count below which the sharded
+// parallel scatter is not worth its fan-out and merge overhead.
+const parallelScatterMinTx = 16
+
+// scatterShard is one worker's private reception state for the parallel
+// scatter: counts, first-transmitter and round stamps over all nodes, plus
+// the list of nodes this worker touched this round (so the merge visits
+// only Σ-degree many entries, never all n).
+type scatterShard struct {
+	count   []int32
+	from    []int32
+	stamp   []int32
+	touched []int32
+	incBuf  []bool
+}
+
 // Engine executes rounds of a configuration.
 type Engine struct {
 	dual   *dualgraph.Dual
 	procs  []Process
 	sched  LinkScheduler
-	batch  BatchLinkScheduler // non-nil when sched supports batch fills
+	batch  BatchLinkScheduler  // non-nil when sched supports batch fills
+	sparse SparseLinkScheduler // non-nil when sched supports subset queries
 	env    Environment
 	driver Driver
 	wrk    int
@@ -69,13 +105,33 @@ type Engine struct {
 	// happens in the engine.
 	payloads []any
 	transmit []bool
-	included []bool  // unreliable edge inclusion mask for the current round
+	included []bool  // unreliable edge inclusion mask (incMask rounds only)
 	txList   []int32 // this round's transmitters, ascending
 	rxCount  []int32 // transmitting neighbors seen by the scatter
-	rxStamp  []int   // round that last touched rxCount/rxFrom for the node
+	rxStamp  []int32 // round that last touched rxCount/rxFrom for the node
 	rxFrom   []int32
-	rxOK     []bool
 	recs     []nodeRecorder
+
+	maxUDeg int    // max unreliable degree, sizes IncludedFor scratch
+	incBuf  []bool // sequential-path IncludedFor scratch
+
+	// touched lists the nodes reached by this round's scatter (stamp moved
+	// to the current round), so stats run over O(Σ deg) entries, not all n.
+	touched []int32
+
+	// shards holds the per-worker scatter state, allocated lazily on the
+	// first round that shards the scatter.
+	shards []*scatterShard
+
+	// txFn/rxFn are the cached per-node phase bodies handed to the worker
+	// pool, built once so parallel rounds allocate nothing.
+	txFn, rxFn func(u int)
+
+	// dirty is the set of nodes with buffered recorder events since the
+	// last drain: dirtyIdx[:dirtyLen] holds their indices in arbitrary
+	// order (recorders push concurrently), sorted at drain time.
+	dirtyIdx []int32
+	dirtyLen atomic.Int32
 
 	// Goroutine-per-node driver state.
 	nodeCmd  []chan nodeCommand
@@ -124,17 +180,40 @@ func New(cfg Config) (*Engine, error) {
 		uCSR:     cfg.Dual.UnreliableCSR(),
 		payloads: make([]any, n),
 		transmit: make([]bool, n),
-		included: make([]bool, len(cfg.Dual.UnreliableEdges())),
 		txList:   make([]int32, 0, n),
 		rxCount:  make([]int32, n),
-		rxStamp:  make([]int, n),
+		rxStamp:  make([]int32, n),
 		rxFrom:   make([]int32, n),
-		rxOK:     make([]bool, n),
 		recs:     make([]nodeRecorder, n),
+	}
+	for u := 0; u < n; u++ {
+		if d := int(e.uCSR.Off[u+1] - e.uCSR.Off[u]); d > e.maxUDeg {
+			e.maxUDeg = d
+		}
+	}
+	if s, ok := cfg.Sched.(SparseLinkScheduler); ok {
+		// Sparse schedulers usually skip the full mask: uniform rounds skip
+		// per-edge resolution entirely, non-uniform rounds resolve
+		// transmitter-incident subsets into incBuf. The batch mask is kept
+		// as the dense-round fallback (see Step).
+		e.sparse = s
+		e.incBuf = make([]bool, e.maxUDeg)
 	}
 	if b, ok := cfg.Sched.(BatchLinkScheduler); ok {
 		e.batch = b
 	}
+	if e.sparse == nil || e.batch != nil {
+		e.included = make([]bool, len(cfg.Dual.UnreliableEdges()))
+	}
+	e.dirtyIdx = make([]int32, n)
+	for u := 0; u < n; u++ {
+		e.recs[u].eng = e
+		e.recs[u].node = int32(u)
+	}
+	e.txFn = func(u int) {
+		e.payloads[u], e.transmit[u] = e.procs[u].Transmit(e.round)
+	}
+	e.rxFn = e.deliver
 	delta, deltaPrime := cfg.Dual.Delta(), cfg.Dual.DeltaPrime()
 	for u := 0; u < n; u++ {
 		env := &NodeEnv{
@@ -184,9 +263,7 @@ func (e *Engine) Step() {
 			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(t)
 		}
 	case DriverWorkerPool:
-		e.parallelNodes(func(u int) {
-			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(t)
-		})
+		e.parallelNodes(e.txFn)
 	case DriverGoroutinePerNode:
 		e.nodePhase(cmdTransmit)
 	}
@@ -198,15 +275,53 @@ func (e *Engine) Step() {
 		ta.ObserveTransmitters(t, e.transmit)
 	}
 
-	// Resolve the round topology: reliable edges plus scheduled unreliable
-	// edges. Batch-capable schedulers fill the whole mask in one call; the
-	// shim queries the mask once per edge per round.
-	if e.batch != nil {
+	// Collect this round's transmitters (ascending): both the inclusion-
+	// mode choice below and the scatter consume the list.
+	e.txList = e.txList[:0]
+	for u, tx := range e.transmit {
+		if tx {
+			e.txList = append(e.txList, int32(u))
+		}
+	}
+
+	// Resolve how the round topology's unreliable part is decided. Sparse
+	// schedulers collapse uniform rounds (Always/Never/Periodic/AntiDecay,
+	// and quiet Adaptive rounds) to a single flag — no mask is written at
+	// all — and defer non-uniform rounds to transmitter-incident subset
+	// queries inside the scatter, costing O(Σ u-deg over transmitters).
+	// When the transmitter set is so dense that subset queries would
+	// exceed one pass over the mask (an edge between two transmitters is
+	// queried from both endpoints), the batch fill is the cheaper path and
+	// the engine falls back to it. Batch-capable schedulers without subset
+	// queries fill the whole mask in one call; the shim queries the mask
+	// once per edge per round.
+	mode := incNone
+	if e.sparse != nil {
+		if v, ok := e.sparse.Uniform(t); ok {
+			if v {
+				mode = incAll
+			}
+		} else {
+			mode = incSparse
+			if e.batch != nil {
+				uDegSum := 0
+				for _, v := range e.txList {
+					uDegSum += int(e.uCSR.Off[v+1] - e.uCSR.Off[v])
+				}
+				if uDegSum > len(e.included) {
+					e.batch.IncludedBatch(t, e.included)
+					mode = incMask
+				}
+			}
+		}
+	} else if e.batch != nil {
 		e.batch.IncludedBatch(t, e.included)
+		mode = incMask
 	} else if e.sched != nil {
 		for i := range e.included {
 			e.included[i] = e.sched.Included(t, i)
 		}
+		mode = incMask
 	}
 
 	// Step 3: receptions under the collision rule. Scatter from the
@@ -214,41 +329,36 @@ func (e *Engine) Step() {
 	// reception count of its reliable neighbors and its included unreliable
 	// peers, costing O(Σ deg over transmitters) and yielding collision
 	// counts as a by-product. Listeners never scan their neighborhoods.
-	e.scatter(t)
-	for u := range e.procs {
-		if !e.transmit[u] && e.rxStamp[u] == t && e.rxCount[u] == 1 {
-			e.rxOK[u] = true
-		} else {
-			e.rxOK[u] = false
-			e.rxFrom[u] = NoTransmitter
-		}
-	}
+	e.scatter(t, mode)
 
-	// Delivery mutates process state; under the goroutine-per-node driver
-	// each node consumes its own slot.
+	// Delivery mutates process state; each node resolves its own reception
+	// outcome from the scatter counts (deliver fuses the per-node outcome
+	// decision with the Receive call, so no separate O(n) pass runs).
+	// Under the goroutine-per-node driver each node consumes its own slot.
 	switch e.driver {
 	case DriverSequential:
 		for u := range e.procs {
 			e.deliver(u)
 		}
 	case DriverWorkerPool:
-		e.parallelNodes(e.deliver)
+		e.parallelNodes(e.rxFn)
 	case DriverGoroutinePerNode:
 		e.nodePhase(cmdReceive)
 	}
 
-	// Stats fall out of the scatter counts: a listener with two or more
-	// transmitting neighbors in the round topology lost the round to
-	// interference.
+	// Stats fall out of the scatter counts over the touched-node list: a
+	// listener with one transmitting topology neighbor received, one with
+	// two or more lost the round to interference. Only nodes the scatter
+	// reached are visited, so this costs O(Σ deg over transmitters).
 	txBefore, delBefore, colBefore := e.trace.Transmissions, e.trace.Deliveries, e.trace.Collisions
-	for u := range e.procs {
+	e.trace.Transmissions += len(e.txList)
+	for _, u := range e.touched {
 		if e.transmit[u] {
-			e.trace.Transmissions++
 			continue
 		}
-		if e.rxOK[u] {
+		if e.rxCount[u] == 1 {
 			e.trace.Deliveries++
-		} else if e.rxStamp[u] == t && e.rxCount[u] >= 2 {
+		} else {
 			e.trace.Collisions++
 		}
 	}
@@ -269,52 +379,151 @@ func (e *Engine) Step() {
 	}
 }
 
-// scatter walks the round's transmitters and bumps the reception count of
-// every node they reach through the round topology, recording the (unique,
-// if count stays 1) transmitter in rxFrom. Round stamps make the count
-// arrays self-clearing: a node whose stamp is stale has count zero.
-func (e *Engine) scatter(t int) {
-	e.txList = e.txList[:0]
-	for u, tx := range e.transmit {
-		if tx {
-			e.txList = append(e.txList, int32(u))
-		}
+// scatter walks the round's transmitters (txList, built in Step) and bumps
+// the reception count of every node they reach through the round topology,
+// recording the (unique, if count stays 1) transmitter in rxFrom. Round
+// stamps make the count arrays self-clearing: a node whose stamp is stale
+// has count zero. Under the worker-pool driver with enough transmitters the
+// scatter is sharded across workers and merged deterministically.
+func (e *Engine) scatter(t int, mode inclusionMode) {
+	e.touched = e.touched[:0]
+	if e.driver == DriverWorkerPool && e.wrk > 1 && len(e.txList) >= parallelScatterMinTx {
+		e.scatterParallel(t, mode)
+		return
 	}
+	e.scatterInto(t, mode, e.txList, e.rxCount, e.rxFrom, e.rxStamp, &e.touched, e.incBuf)
+}
+
+// scatterInto walks the given transmitters and accumulates receptions into
+// the supplied count/from/stamp arrays. When touched is non-nil, every node
+// whose stamp transitions to the current round is appended to it (the
+// parallel shards use this to keep the merge proportional to work done).
+// incBuf is the IncludedFor scratch for incSparse rounds.
+func (e *Engine) scatterInto(t int, mode inclusionMode, txs []int32,
+	count, from, stamp []int32, touched *[]int32, incBuf []bool) {
+
+	t32 := int32(t)
 	gOff, gTgt := e.gCSR.Off, e.gCSR.Targets
 	uOff, uPeers, uEdges := e.uCSR.Off, e.uCSR.Peers, e.uCSR.Edges
-	for _, v := range e.txList {
-		for i := gOff[v]; i < gOff[v+1]; i++ {
-			u := gTgt[i]
-			if e.rxStamp[u] != t {
-				e.rxStamp[u] = t
-				e.rxCount[u] = 1
-				e.rxFrom[u] = v
-			} else {
-				e.rxCount[u]++
+	bump := func(u, v int32) {
+		if stamp[u] != t32 {
+			stamp[u] = t32
+			count[u] = 1
+			from[u] = v
+			if touched != nil {
+				*touched = append(*touched, u)
 			}
+		} else {
+			count[u]++
 		}
-		for i := uOff[v]; i < uOff[v+1]; i++ {
-			if !e.included[uEdges[i]] {
-				continue
+	}
+	for _, v := range txs {
+		for i := gOff[v]; i < gOff[v+1]; i++ {
+			bump(gTgt[i], v)
+		}
+		if mode == incNone {
+			continue
+		}
+		lo, hi := uOff[v], uOff[v+1]
+		if lo == hi {
+			continue
+		}
+		switch mode {
+		case incAll:
+			for i := lo; i < hi; i++ {
+				bump(uPeers[i], v)
 			}
-			u := uPeers[i]
-			if e.rxStamp[u] != t {
-				e.rxStamp[u] = t
-				e.rxCount[u] = 1
-				e.rxFrom[u] = v
-			} else {
-				e.rxCount[u]++
+		case incMask:
+			for i := lo; i < hi; i++ {
+				if e.included[uEdges[i]] {
+					bump(uPeers[i], v)
+				}
+			}
+		case incSparse:
+			buf := incBuf[:hi-lo]
+			e.sparse.IncludedFor(t, uEdges[lo:hi], buf)
+			for i := lo; i < hi; i++ {
+				if buf[i-lo] {
+					bump(uPeers[i], v)
+				}
 			}
 		}
 	}
 }
 
-// deliver invokes Receive for node u from the resolved slots. Successful
-// receptions read the transmitter's payload from its slot in the shared
-// payload table.
+// scatterParallel shards the transmitter list across the worker pool. Each
+// worker scatters its contiguous txList range into a private shard; the
+// shards are then merged into the engine's reception arrays in worker order.
+// Because shard w's transmitters all precede shard w+1's in txList order,
+// "first worker to touch u wins rxFrom, counts add" reproduces the
+// sequential left-to-right scatter exactly, so traces stay byte-identical.
+func (e *Engine) scatterParallel(t int, mode inclusionMode) {
+	workers := e.wrk
+	if workers > len(e.txList) {
+		workers = len(e.txList)
+	}
+	e.ensureShards(workers)
+	chunk := (len(e.txList) + workers - 1) / workers
+	var wg sync.WaitGroup
+	active := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(e.txList) {
+			hi = len(e.txList)
+		}
+		if lo >= hi {
+			break
+		}
+		sh := e.shards[w]
+		sh.touched = sh.touched[:0]
+		active++
+		wg.Add(1)
+		go func(sh *scatterShard, txs []int32) {
+			defer wg.Done()
+			e.scatterInto(t, mode, txs, sh.count, sh.from, sh.stamp, &sh.touched, sh.incBuf)
+		}(sh, e.txList[lo:hi])
+	}
+	wg.Wait()
+
+	t32 := int32(t)
+	for w := 0; w < active; w++ {
+		sh := e.shards[w]
+		for _, u := range sh.touched {
+			if e.rxStamp[u] != t32 {
+				e.rxStamp[u] = t32
+				e.rxCount[u] = sh.count[u]
+				e.rxFrom[u] = sh.from[u]
+				e.touched = append(e.touched, u)
+			} else {
+				e.rxCount[u] += sh.count[u]
+			}
+		}
+	}
+}
+
+// ensureShards lazily grows the per-worker scatter shards to the given count.
+func (e *Engine) ensureShards(workers int) {
+	n := len(e.procs)
+	for len(e.shards) < workers {
+		e.shards = append(e.shards, &scatterShard{
+			count:  make([]int32, n),
+			from:   make([]int32, n),
+			stamp:  make([]int32, n),
+			incBuf: make([]bool, e.maxUDeg),
+		})
+	}
+}
+
+// deliver resolves node u's reception outcome from the scatter counts and
+// invokes Receive: a listener whose stamp is current with exactly one
+// transmitting topology neighbor hears that transmitter (reading the payload
+// from its slot in the shared table); everyone else — transmitters, silent
+// listeners, collision victims — gets ⊥. Every field it touches is indexed
+// by u, so drivers may run delivers concurrently.
 func (e *Engine) deliver(u int) {
 	t := e.round
-	if e.rxOK[u] {
+	if !e.transmit[u] && e.rxStamp[u] == int32(t) && e.rxCount[u] == 1 {
 		from := int(e.rxFrom[u])
 		e.procs[u].Receive(t, from, e.payloads[from], true)
 		return
@@ -407,16 +616,27 @@ func (e *Engine) Close() {
 	e.nodeCmd = nil
 }
 
-// drainRecorders appends per-node buffered events to the trace in node
-// order, producing a deterministic global order regardless of driver.
+// drainRecorders appends buffered events to the trace in node order,
+// producing a deterministic global order regardless of driver. Only nodes on
+// the dirty list are visited — the list is filled concurrently in arbitrary
+// order by the recorders, so it is sorted here to restore node order.
 func (e *Engine) drainRecorders(t int) {
-	for u := range e.recs {
-		for _, ev := range e.recs[u].buf {
+	m := int(e.dirtyLen.Load())
+	if m == 0 {
+		return
+	}
+	dirty := e.dirtyIdx[:m]
+	slices.Sort(dirty)
+	for _, u := range dirty {
+		r := &e.recs[u]
+		for _, ev := range r.buf {
 			if ev.Round == 0 {
 				ev.Round = t
 			}
 			e.trace.Record(ev)
 		}
-		e.recs[u].buf = e.recs[u].buf[:0]
+		r.buf = r.buf[:0]
+		r.listed = false
 	}
+	e.dirtyLen.Store(0)
 }

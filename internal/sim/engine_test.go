@@ -74,6 +74,20 @@ func (c *coinProc) Receive(t, from int, payload any, ok bool) {
 	}
 }
 
+// newTestEngine constructs an engine and registers Close on test cleanup,
+// so goroutine-per-node drivers can never leak node goroutines into later
+// tests or benchmarks — even when an assertion fails before the explicit
+// Close. Close is idempotent and a no-op for the other drivers.
+func newTestEngine(tb testing.TB, cfg Config) *Engine {
+	tb.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(e.Close)
+	return e
+}
+
 func must(t testing.TB) func(*dualgraph.Dual, error) *dualgraph.Dual {
 	return func(d *dualgraph.Dual, err error) *dualgraph.Dual {
 		t.Helper()
@@ -315,16 +329,13 @@ func TestDriverParity(t *testing.T) {
 		for u := range procs {
 			procs[u] = &coinProc{p: 0.3}
 		}
-		e, err := New(Config{
+		e := newTestEngine(t, Config{
 			Dual:   d,
 			Procs:  procs,
 			Sched:  sched.Random{P: 0.5, Seed: 11},
 			Seed:   77,
 			Driver: driver,
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
 		e.Run(200)
 		e.Close()
 		heard := make([]int, d.N())
@@ -392,13 +403,10 @@ func TestRecorderEventsOrdered(t *testing.T) {
 		for u := range procs {
 			procs[u] = &recordingProc{}
 		}
-		e, err := New(Config{Dual: d, Procs: procs, Driver: driver})
-		if err != nil {
-			t.Fatal(err)
-		}
+		e := newTestEngine(t, Config{Dual: d, Procs: procs, Driver: driver})
 		e.Run(3)
 		e.Close()
-		evs := e.Trace().Events
+		evs := e.Trace().AppendEvents(nil)
 		if len(evs) != 12 {
 			t.Fatalf("driver %d: %d events, want 12", driver, len(evs))
 		}
@@ -451,10 +459,7 @@ func TestSingletonNetwork(t *testing.T) {
 func TestCloseIdempotent(t *testing.T) {
 	d := lineDual(t)
 	procs := []Process{newScriptProc(nil), newScriptProc(nil), newScriptProc(nil)}
-	e, err := New(Config{Dual: d, Procs: procs, Driver: DriverGoroutinePerNode})
-	if err != nil {
-		t.Fatal(err)
-	}
+	e := newTestEngine(t, Config{Dual: d, Procs: procs, Driver: DriverGoroutinePerNode})
 	e.Run(2)
 	e.Close()
 	e.Close()

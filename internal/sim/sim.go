@@ -78,6 +78,29 @@ type BatchLinkScheduler interface {
 	IncludedBatch(t int, mask []bool)
 }
 
+// SparseLinkScheduler is an optional fast path beyond BatchLinkScheduler for
+// schedulers that can answer edge-subset queries. It makes sparse rounds
+// O(Σ deg over transmitters) end to end: instead of rewriting the full
+// O(|E′\E|) inclusion mask every round, the engine asks only about the edges
+// incident to this round's transmitters.
+//
+// Uniform is the cached-mask fast path: when the round's decision does not
+// depend on the edge (Always, Never, Periodic, AntiDecay, and Random at
+// P ∈ {0, 1}), it returns that decision with ok=true and the engine skips
+// per-edge resolution entirely. When ok=false the engine calls IncludedFor
+// with the transmitter-incident edge lists.
+//
+// Both methods must agree with Included: Uniform(t) = (v, true) implies
+// Included(t, e) == v for every e, and IncludedFor must set
+// out[i] = Included(t, edges[i]) for every i. IncludedFor must be safe for
+// concurrent calls with distinct out buffers — the parallel scatter issues
+// them from multiple workers.
+type SparseLinkScheduler interface {
+	LinkScheduler
+	Uniform(t int) (v, ok bool)
+	IncludedFor(t int, edges []int32, out []bool)
+}
+
 // TransmitterAware is implemented by adaptive (non-oblivious) schedulers.
 // The engine calls ObserveTransmitters after transmit decisions are fixed
 // and before Included is queried for round t, giving the adversary exactly

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+	"sort"
+)
 
 // EventKind classifies protocol events recorded in a trace.
 type EventKind uint8
@@ -19,6 +23,9 @@ const (
 	// is defined over receptions ("u receives at least one message m_v …"),
 	// not over the deduplicated recv outputs, so checkers need both.
 	EvHear
+
+	// numEventKinds bounds the kind space for per-kind counters.
+	numEventKinds = int(EvHear) + 1
 )
 
 // String implements fmt.Stringer.
@@ -72,12 +79,104 @@ func (m MsgID) Seq() int { return int(uint32(int64(m))) }
 // String implements fmt.Stringer.
 func (m MsgID) String() string { return fmt.Sprintf("m(%d,%d)", m.Src(), m.Seq()) }
 
+// eventChunkLen is the fixed capacity of one column chunk. Chunked growth
+// keeps appends O(1) without ever copying recorded history, and bounds the
+// transient overshoot of a growing trace to one chunk.
+const eventChunkLen = 4096
+
+// eventChunk is one fixed-size block of the columnar event store. Events are
+// stored struct-of-arrays: five narrow parallel columns instead of the 56-byte
+// row form of Event, cutting steady-state trace bytes by more than half.
+// Rounds, nodes and transmitter ids fit int32 at any simulated scale.
+type eventChunk struct {
+	round []int32
+	node  []int32
+	kind  []EventKind
+	from  []int32
+	msgID []MsgID
+}
+
+func newEventChunk() *eventChunk {
+	return &eventChunk{
+		round: make([]int32, 0, eventChunkLen),
+		node:  make([]int32, 0, eventChunkLen),
+		kind:  make([]EventKind, 0, eventChunkLen),
+		from:  make([]int32, 0, eventChunkLen),
+		msgID: make([]MsgID, 0, eventChunkLen),
+	}
+}
+
+// eventStore is the chunked struct-of-arrays event log. Payloads are opaque
+// interface values carried by very few events (bcast inputs), so they live in
+// a sparse side table keyed by global event index instead of a 16-byte
+// interface column on every event.
+type eventStore struct {
+	chunks []*eventChunk
+	n      int
+
+	// kindCount[k] counts recorded events of kind k, so ByKind can
+	// preallocate its result exactly.
+	kindCount [numEventKinds + 1]int
+
+	// payIdx (ascending) and payVal hold the sparse payload table.
+	payIdx []int32
+	payVal []any
+}
+
+// append records one event.
+func (s *eventStore) append(ev Event) {
+	var c *eventChunk
+	if len(s.chunks) == 0 || len(s.chunks[len(s.chunks)-1].round) == eventChunkLen {
+		c = newEventChunk()
+		s.chunks = append(s.chunks, c)
+	} else {
+		c = s.chunks[len(s.chunks)-1]
+	}
+	c.round = append(c.round, int32(ev.Round))
+	c.node = append(c.node, int32(ev.Node))
+	c.kind = append(c.kind, ev.Kind)
+	c.from = append(c.from, int32(ev.From))
+	c.msgID = append(c.msgID, ev.MsgID)
+	if ev.Payload != nil {
+		s.payIdx = append(s.payIdx, int32(s.n))
+		s.payVal = append(s.payVal, ev.Payload)
+	}
+	if k := int(ev.Kind); k >= 0 && k <= numEventKinds {
+		s.kindCount[k]++
+	}
+	s.n++
+}
+
+// at reassembles event i from the columns.
+func (s *eventStore) at(i int) Event {
+	c := s.chunks[i/eventChunkLen]
+	j := i % eventChunkLen
+	ev := Event{
+		Round: int(c.round[j]),
+		Node:  int(c.node[j]),
+		Kind:  c.kind[j],
+		From:  int(c.from[j]),
+		MsgID: c.msgID[j],
+	}
+	if len(s.payIdx) > 0 {
+		p := sort.Search(len(s.payIdx), func(k int) bool { return s.payIdx[k] >= int32(i) })
+		if p < len(s.payIdx) && s.payIdx[p] == int32(i) {
+			ev.Payload = s.payVal[p]
+		}
+	}
+	return ev
+}
+
 // Trace accumulates the protocol events of one execution together with
 // aggregate channel statistics. It is populated single-threadedly by the
 // engine (per-node buffers are drained in node order), so reads after Run
 // need no synchronisation and event order is deterministic.
+//
+// Events are held in a chunked columnar store (see eventStore); access them
+// positionally with Len/At, or in order with the Events iterator, ByKind and
+// ByNode.
 type Trace struct {
-	Events []Event
+	store eventStore
 
 	// RoundsRun counts executed rounds.
 	RoundsRun int
@@ -107,34 +206,136 @@ type RoundStat struct {
 
 // Record appends an event. It must only be called from engine-owned
 // contexts; protocol code uses the per-node Recorder instead.
-func (tr *Trace) Record(ev Event) { tr.Events = append(tr.Events, ev) }
+func (tr *Trace) Record(ev Event) { tr.store.append(ev) }
 
-// ByKind returns the events of the given kind, in trace order.
+// Len returns the number of recorded events.
+func (tr *Trace) Len() int { return tr.store.n }
+
+// At returns event i (0 ≤ i < Len) in trace order. Incremental consumers —
+// analyses that poll the trace between rounds — scan the tail with
+// At(i) for i in [seen, Len()).
+func (tr *Trace) At(i int) Event { return tr.store.at(i) }
+
+// Events iterates over all recorded events in trace order, walking the
+// columns chunk by chunk without materialising []Event. Sparse payloads are
+// joined with a single cursor over the payload table (indices are visited
+// ascending), so a full walk costs O(events + payloads).
+func (tr *Trace) Events() iter.Seq[Event] {
+	return func(yield func(Event) bool) {
+		payIdx, payVal := tr.store.payIdx, tr.store.payVal
+		base, p := 0, 0
+		for _, c := range tr.store.chunks {
+			for j := range c.round {
+				ev := Event{
+					Round: int(c.round[j]),
+					Node:  int(c.node[j]),
+					Kind:  c.kind[j],
+					From:  int(c.from[j]),
+					MsgID: c.msgID[j],
+				}
+				if p < len(payIdx) && payIdx[p] == int32(base+j) {
+					ev.Payload = payVal[p]
+					p++
+				}
+				if !yield(ev) {
+					return
+				}
+			}
+			base += len(c.round)
+		}
+	}
+}
+
+// AppendEvents appends all recorded events to dst (growing it at most once)
+// and returns the result. Row-form materialisation for consumers that need a
+// slice; analysis paths should prefer Events/ByKind/ByNode.
+func (tr *Trace) AppendEvents(dst []Event) []Event {
+	if cap(dst)-len(dst) < tr.store.n {
+		grown := make([]Event, len(dst), len(dst)+tr.store.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for ev := range tr.Events() {
+		dst = append(dst, ev)
+	}
+	return dst
+}
+
+// ByKind returns the events of the given kind, in trace order. The result is
+// allocated exactly once, sized from the store's per-kind counters.
 func (tr *Trace) ByKind(kind EventKind) []Event {
-	var out []Event
-	for _, ev := range tr.Events {
+	count := 0
+	if k := int(kind); k >= 0 && k <= numEventKinds {
+		count = tr.store.kindCount[k]
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]Event, 0, count)
+	for ev := range tr.Events() {
 		if ev.Kind == kind {
 			out = append(out, ev)
+			if len(out) == count {
+				break
+			}
 		}
 	}
 	return out
 }
 
-// ByNode returns the events of the given node, in trace order.
+// ByNode returns the events of the given node, in trace order. A counting
+// pass sizes the result so the fill pass never reallocates.
 func (tr *Trace) ByNode(node int) []Event {
-	var out []Event
-	for _, ev := range tr.Events {
+	count := 0
+	for _, c := range tr.store.chunks {
+		for _, u := range c.node {
+			if int(u) == node {
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]Event, 0, count)
+	for ev := range tr.Events() {
 		if ev.Node == node {
 			out = append(out, ev)
+			if len(out) == count {
+				break
+			}
 		}
 	}
 	return out
+}
+
+// KindCount returns the number of recorded events of the given kind without
+// scanning the store.
+func (tr *Trace) KindCount(kind EventKind) int {
+	if k := int(kind); k >= 0 && k <= numEventKinds {
+		return tr.store.kindCount[k]
+	}
+	return 0
 }
 
 // nodeRecorder buffers one node's events between engine drain points, so
-// concurrent drivers never contend on the shared trace.
+// concurrent drivers never contend on the shared trace. On its first record
+// since the last drain it pushes its node onto the engine's dirty list, so
+// draining costs O(recording nodes), never O(n).
 type nodeRecorder struct {
-	buf []Event
+	buf    []Event
+	listed bool
+	eng    *Engine
+	node   int32
 }
 
-func (r *nodeRecorder) Record(ev Event) { r.buf = append(r.buf, ev) }
+func (r *nodeRecorder) Record(ev Event) {
+	r.buf = append(r.buf, ev)
+	if !r.listed && r.eng != nil {
+		// listed is owned by the recording node (one goroutine per node in
+		// every driver); only the slot reservation below is contended.
+		r.listed = true
+		i := r.eng.dirtyLen.Add(1) - 1
+		r.eng.dirtyIdx[i] = r.node
+	}
+}

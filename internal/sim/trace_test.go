@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+)
+
+// TestColumnarStoreRoundTrip pushes well past several chunk boundaries and
+// checks positional access, iteration order, the sparse payload table and
+// the per-kind counters all reassemble the recorded events exactly.
+func TestColumnarStoreRoundTrip(t *testing.T) {
+	tr := &Trace{}
+	const total = 3*eventChunkLen + 137
+	kinds := []EventKind{EvBcast, EvAck, EvRecv, EvDecide, EvHear}
+	want := make([]Event, total)
+	for i := 0; i < total; i++ {
+		ev := Event{
+			Round: i/7 + 1,
+			Node:  i % 53,
+			Kind:  kinds[i%len(kinds)],
+			From:  i%29 - 1,
+			MsgID: NewMsgID(i%53, i/53),
+		}
+		// Sparse payloads: one event in 97 carries one.
+		if i%97 == 0 {
+			ev.Payload = fmt.Sprintf("p%d", i)
+		}
+		want[i] = ev
+		tr.Record(ev)
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	for i := 0; i < total; i++ {
+		if got := tr.At(i); got != want[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+		}
+	}
+	i := 0
+	for ev := range tr.Events() {
+		if ev != want[i] {
+			t.Fatalf("iterator event %d = %+v, want %+v", i, ev, want[i])
+		}
+		i++
+	}
+	if i != total {
+		t.Fatalf("iterator yielded %d events, want %d", i, total)
+	}
+	for _, k := range kinds {
+		wantCount := 0
+		for _, ev := range want {
+			if ev.Kind == k {
+				wantCount++
+			}
+		}
+		if got := tr.KindCount(k); got != wantCount {
+			t.Errorf("KindCount(%v) = %d, want %d", k, got, wantCount)
+		}
+		byKind := tr.ByKind(k)
+		if len(byKind) != wantCount {
+			t.Errorf("ByKind(%v) returned %d events, want %d", k, len(byKind), wantCount)
+		}
+		if cap(byKind) != wantCount {
+			t.Errorf("ByKind(%v) cap = %d, want exactly %d (preallocation contract)", k, cap(byKind), wantCount)
+		}
+	}
+	byNode := tr.ByNode(5)
+	for _, ev := range byNode {
+		if ev.Node != 5 {
+			t.Fatalf("ByNode(5) returned event for node %d", ev.Node)
+		}
+	}
+	if len(byNode) == 0 || cap(byNode) != len(byNode) {
+		t.Errorf("ByNode(5): len %d cap %d, want non-empty exact-capacity slice", len(byNode), cap(byNode))
+	}
+	all := tr.AppendEvents(nil)
+	if len(all) != total {
+		t.Fatalf("AppendEvents returned %d events", len(all))
+	}
+	for i, ev := range all {
+		if ev != want[i] {
+			t.Fatalf("AppendEvents[%d] = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+// TestByKindByNodeEmpty pins nil results for absent kinds and nodes.
+func TestByKindByNodeEmpty(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(Event{Round: 1, Node: 0, Kind: EvBcast})
+	if got := tr.ByKind(EvDecide); got != nil {
+		t.Errorf("ByKind(EvDecide) = %v, want nil", got)
+	}
+	if got := tr.ByNode(9); got != nil {
+		t.Errorf("ByNode(9) = %v, want nil", got)
+	}
+	if got := tr.ByKind(EventKind(99)); got != nil {
+		t.Errorf("ByKind(99) = %v, want nil", got)
+	}
+}
+
+// BenchmarkTracedRound measures the steady-state cost of rounds that record
+// one trace event per delivery (the chatty workload): the columnar store's
+// per-event bytes are the dominant steady-state allocation.
+func BenchmarkTracedRound(b *testing.B) {
+	d, err := dualgraph.RandomGeometric(500, 10, 10, 2, dualgraph.GreyUnreliable, benchRng())
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]Process, d.N())
+	for u := range procs {
+		procs[u] = &chattyProc{p: 0.2}
+	}
+	e, err := New(Config{Dual: d, Procs: procs, Sched: sched.NewRandom(0.5, 3), Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -39,16 +40,20 @@ func kindFromString(s string) (EventKind, error) {
 	return 0, fmt.Errorf("sim: unknown event kind %q", s)
 }
 
-// WriteJSON serialises the trace.
+// WriteJSON serialises the trace. Events are streamed one at a time from the
+// columnar store, so serialisation never materialises a row-form []Event —
+// the trace's own columns stay the only full-size copy in memory.
 func (tr *Trace) WriteJSON(w io.Writer) error {
-	out := traceJSON{
-		RoundsRun:     tr.RoundsRun,
-		Transmissions: tr.Transmissions,
-		Deliveries:    tr.Deliveries,
-		Collisions:    tr.Collisions,
-		Events:        make([]eventJSON, len(tr.Events)),
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\n \"rounds_run\": %d,\n \"transmissions\": %d,\n \"deliveries\": %d,\n \"collisions\": %d,\n \"events\": ",
+		tr.RoundsRun, tr.Transmissions, tr.Deliveries, tr.Collisions)
+	if tr.Len() == 0 {
+		bw.WriteString("[]\n}\n")
+		return bw.Flush()
 	}
-	for i, ev := range tr.Events {
+	bw.WriteString("[\n")
+	first := true
+	for ev := range tr.Events() {
 		ej := eventJSON{
 			Round: ev.Round,
 			Node:  ev.Node,
@@ -59,11 +64,19 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 		if ev.Payload != nil {
 			ej.Payload = fmt.Sprint(ev.Payload)
 		}
-		out.Events[i] = ej
+		b, err := json.MarshalIndent(ej, "  ", " ")
+		if err != nil {
+			return err
+		}
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString("  ")
+		bw.Write(b)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	bw.WriteString("\n ]\n}\n")
+	return bw.Flush()
 }
 
 // ReadTraceJSON deserialises a trace written by WriteJSON. Payloads come
@@ -78,9 +91,8 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 		Transmissions: in.Transmissions,
 		Deliveries:    in.Deliveries,
 		Collisions:    in.Collisions,
-		Events:        make([]Event, len(in.Events)),
 	}
-	for i, ej := range in.Events {
+	for _, ej := range in.Events {
 		kind, err := kindFromString(ej.Kind)
 		if err != nil {
 			return nil, err
@@ -95,7 +107,7 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 		if ej.Payload != "" {
 			ev.Payload = ej.Payload
 		}
-		tr.Events[i] = ev
+		tr.Record(ev)
 	}
 	return tr, nil
 }

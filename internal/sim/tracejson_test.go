@@ -25,19 +25,19 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	if got.RoundsRun != 10 || got.Transmissions != 5 || got.Deliveries != 3 || got.Collisions != 1 {
 		t.Errorf("stats mismatch: %+v", got)
 	}
-	if len(got.Events) != len(tr.Events) {
-		t.Fatalf("%d events, want %d", len(got.Events), len(tr.Events))
+	if got.Len() != tr.Len() {
+		t.Fatalf("%d events, want %d", got.Len(), tr.Len())
 	}
-	for i, want := range tr.Events {
-		g := got.Events[i]
+	for i := 0; i < tr.Len(); i++ {
+		g, want := got.At(i), tr.At(i)
 		if g.Round != want.Round || g.Node != want.Node || g.Kind != want.Kind ||
 			g.From != want.From || g.MsgID != want.MsgID {
 			t.Errorf("event %d: got %+v, want %+v", i, g, want)
 		}
 	}
 	// Payloads come back as their printed form.
-	if got.Events[0].Payload != "hello" {
-		t.Errorf("payload = %v", got.Events[0].Payload)
+	if got.At(0).Payload != "hello" {
+		t.Errorf("payload = %v", got.At(0).Payload)
 	}
 }
 
@@ -50,7 +50,7 @@ func TestTraceJSONEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Events) != 0 || got.RoundsRun != 0 {
+	if got.Len() != 0 || got.RoundsRun != 0 {
 		t.Errorf("empty round trip: %+v", got)
 	}
 }

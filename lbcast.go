@@ -88,7 +88,7 @@ func ScheduleAlways() Scheduler { return Scheduler{impl: sched.Always{}, name: "
 // ScheduleRandom includes each unreliable link independently with
 // probability p each round (obliviously, keyed by seed).
 func ScheduleRandom(p float64, seed uint64) Scheduler {
-	return Scheduler{impl: sched.Random{P: p, Seed: seed}, name: "random"}
+	return Scheduler{impl: sched.NewRandom(p, seed), name: "random"}
 }
 
 // ScheduleAntiDecay is the paper's §1 adversary tuned against fixed
