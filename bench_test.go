@@ -74,6 +74,12 @@ func BenchmarkConsensus(b *testing.B) { benchmarkExperiment(b, "E-CONSENSUS") }
 // Constant calibration sweeps.
 func BenchmarkConstants(b *testing.B) { benchmarkExperiment(b, "E-CONST") }
 
+// Comparison workloads: LBAlg vs SINR layer vs contention baselines.
+func BenchmarkComparison(b *testing.B) { benchmarkExperiment(b, "E-COMPARE") }
+
+// SINR reception model sanity.
+func BenchmarkSINR(b *testing.B) { benchmarkExperiment(b, "E-SINR") }
+
 // BenchmarkBroadcastAck measures one full bcast→ack cycle through the
 // public API on an 8-node cluster.
 func BenchmarkBroadcastAck(b *testing.B) {

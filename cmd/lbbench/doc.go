@@ -1,0 +1,29 @@
+// Command lbbench runs the experiment suite that reproduces every
+// quantitative claim of the paper and prints the docs/EXPERIMENTS.md tables.
+//
+// Usage:
+//
+//	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
+//	lbbench -benchjson BENCH_pr2.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
+//	lbbench -sweep [-sweepn 100,1000,10000,100000] [-compare] [-benchjson BENCH_pr2.json]
+//	lbbench -baseline BENCH_pr1.json -gobench gotest.txt [-gatebench BenchmarkNetworkRound] [-gatelimit 1.20]
+//
+// With -benchjson, lbbench measures each selected experiment (ns/op,
+// B/op, allocs/op) instead of rendering tables and writes the
+// machine-readable BENCH_*.json used to track the performance trajectory
+// across PRs; -gobench merges a saved `go test -bench` output into the
+// same file.
+//
+// With -sweep, lbbench measures raw engine round throughput across
+// n × scheduler × driver (the large-n scaling sweep); combined with
+// -benchjson the points are embedded in the JSON's "sweep" section,
+// otherwise the table is printed. -compare (alone or alongside -sweep)
+// runs the algorithm comparison matrix — LBAlg vs the SINR local broadcast
+// layer vs the GHLN contention baselines (experiment E-COMPARE) — at the
+// chosen -size, rendering the table or embedding the report in the JSON's
+// "comparison" section.
+//
+// With -baseline, lbbench compares the -gobench measurements against the
+// named benchmarks in a committed BENCH_*.json and exits non-zero when
+// ns/op regressed by more than -gatelimit× — the CI regression gate.
+package main

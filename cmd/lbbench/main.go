@@ -1,27 +1,3 @@
-// Command lbbench runs the experiment suite that reproduces every
-// quantitative claim of the paper and prints the EXPERIMENTS.md tables.
-//
-// Usage:
-//
-//	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
-//	lbbench -benchjson BENCH_pr2.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
-//	lbbench -sweep [-sweepn 100,1000,10000,100000] [-benchjson BENCH_pr2.json]
-//	lbbench -baseline BENCH_pr1.json -gobench gotest.txt [-gatebench BenchmarkNetworkRound] [-gatelimit 1.20]
-//
-// With -benchjson, lbbench measures each selected experiment (ns/op,
-// B/op, allocs/op) instead of rendering tables and writes the
-// machine-readable BENCH_*.json used to track the performance trajectory
-// across PRs; -gobench merges a saved `go test -bench` output into the
-// same file.
-//
-// With -sweep, lbbench measures raw engine round throughput across
-// n × scheduler × driver (the large-n scaling sweep); combined with
-// -benchjson the points are embedded in the JSON's "sweep" section,
-// otherwise the table is printed.
-//
-// With -baseline, lbbench compares the -gobench measurements against the
-// named benchmarks in a committed BENCH_*.json and exits non-zero when
-// ns/op regressed by more than -gatelimit× — the CI regression gate.
 package main
 
 import (
@@ -49,6 +25,7 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "run the engine scaling sweep (n × scheduler × driver)")
 		sweepN    = flag.String("sweepn", "100,1000,10000,100000", "comma-separated network sizes for -sweep")
 		sweepP    = flag.Float64("sweepp", 0.1, "per-node transmit probability for -sweep")
+		compare   = flag.Bool("compare", false, "run the algorithm comparison matrix (LBAlg vs SINR layer vs contention baselines) at -size; renders the table, or embeds it in -benchjson")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -gobench measurements against")
 		gateBench = flag.String("gatebench", "BenchmarkNetworkRound", "comma-separated benchmark names for the -baseline gate")
 		gateLimit = flag.Float64("gatelimit", 1.20, "fail the -baseline gate when current/baseline ns/op exceeds this ratio")
@@ -77,6 +54,7 @@ func main() {
 	}
 
 	var sweepPoints []exp.SweepPoint
+	var compareRep *exp.ComparisonReport
 	if *sweep {
 		ns, err := parseSweepNs(*sweepN)
 		if err != nil {
@@ -88,16 +66,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *compare {
+		var err error
+		compareRep, err = exp.RunComparison(size, *seedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sweep || *compare {
+		// Tables go to stdout when they are the final product, to stderr
+		// when -benchjson makes the JSON file the product.
+		out := os.Stderr
 		if *benchJSON == "" {
-			if err := exp.SweepTable(sweepPoints).Render(os.Stdout); err != nil {
+			out = os.Stdout
+		}
+		if sweepPoints != nil {
+			if err := exp.SweepTable(sweepPoints).Render(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			return
 		}
-		if err := exp.SweepTable(sweepPoints).Render(os.Stderr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if compareRep != nil {
+			if err := exp.ComparisonTable(compareRep).Render(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *benchJSON == "" {
+			return
 		}
 	}
 
@@ -117,7 +115,7 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt,
-			*goBench, *noteFlag, sweepPoints); err != nil {
+			*goBench, *noteFlag, sweepPoints, compareRep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -219,13 +217,15 @@ func runGate(baselinePath, goBenchPath, names string, limit float64) error {
 // writeBenchJSON measures every selected experiment and writes the
 // machine-readable benchmark file.
 func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName string,
-	seed uint64, iters int, goBenchPath, note string, sweepPoints []exp.SweepPoint) error {
+	seed uint64, iters int, goBenchPath, note string, sweepPoints []exp.SweepPoint,
+	compareRep *exp.ComparisonReport) error {
 	file := exp.BenchFile{
-		Note:      note,
-		GoVersion: runtime.Version(),
-		Size:      sizeName,
-		Seed:      seed,
-		Sweep:     sweepPoints,
+		Note:       note,
+		GoVersion:  runtime.Version(),
+		Size:       sizeName,
+		Seed:       seed,
+		Sweep:      sweepPoints,
+		Comparison: compareRep,
 	}
 	for _, e := range todo {
 		r, err := exp.MeasureExperiment(e, size, seed, iters)

@@ -1,10 +1,3 @@
-// Command lbsim runs one local broadcast configuration and prints a
-// specification report: deterministic condition violations, reliability and
-// progress rates, latency quantiles and channel statistics.
-//
-// Usage:
-//
-//	lbsim -topo cluster -n 16 -eps 0.1 -sched random -phases 8
 package main
 
 import (
@@ -14,6 +7,7 @@ import (
 
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
+	"lbcast/internal/exp"
 	"lbcast/internal/lbspec"
 	"lbcast/internal/sched"
 	"lbcast/internal/sim"
@@ -33,12 +27,56 @@ func main() {
 		senders   = flag.Int("senders", 3, "number of saturated senders")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		traceFile = flag.String("trace", "", "write the execution trace as JSON to this file")
+		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison")
+		sizeFlag  = flag.String("size", "small", "scale for -exp runs: small|medium|full")
+		outFile   = flag.String("out", "comparison.json", "JSON output path for -exp comparison")
 	)
 	flag.Parse()
+	if *expFlag != "" {
+		if err := runExp(*expFlag, *sizeFlag, *seed, *outFile); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*topo, *n, *r, *eps, *schedN, *schedP, *phases, *senders, *seed, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runExp dispatches the -exp subsystems. Today that is the comparison
+// matrix: LBAlg vs the SINR local broadcast layer vs the GHLN contention
+// baselines over the sweep topologies, rendered as a table and written as
+// the machine-readable comparison JSON.
+func runExp(name, sizeName string, seed uint64, outFile string) error {
+	if name != "comparison" {
+		return fmt.Errorf("unknown -exp %q (supported: comparison)", name)
+	}
+	size, err := exp.ParseSize(sizeName)
+	if err != nil {
+		return err
+	}
+	rep, err := exp.RunComparison(size, seed)
+	if err != nil {
+		return err
+	}
+	if err := exp.ComparisonTable(rep).Render(os.Stdout); err != nil {
+		return err
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("comparison table written to %s (%d rows)\n", outFile, len(rep.Rows))
+	return nil
 }
 
 func run(topo string, n int, r, eps float64, schedName string, schedP float64, phases, senders int, seed uint64, traceFile string) error {

@@ -1,0 +1,9 @@
+// Command lbviz renders an ASCII picture of a dual graph embedding: node
+// positions over the Lemma A.1 grid region partition, plus degree and
+// region-occupancy summaries. It is a debugging aid for the geometric
+// substrate.
+//
+// Usage:
+//
+//	lbviz -n 60 -w 8 -h 6 -r 1.5 -seed 3
+package main

@@ -1,17 +1,3 @@
-// Package amac renders LBAlg as an implementation of the (probabilistic)
-// abstract MAC layer of Kuhn, Lynch and Newport [14, 16], and composes
-// higher-level algorithms on top of it.
-//
-// The abstract MAC layer exposes exactly the bcast/ack/recv interface of
-// the LB problem together with two latency guarantees: f_ack bounds the
-// time from a bcast to its ack, and f_prog bounds the time until a node
-// with an actively-broadcasting neighbor receives some message. Theorem 4.1
-// provides both bounds for LBAlg with error ε, which is what "ports the
-// corpus of abstract-MAC-layer algorithms to the dual graph model".
-//
-// Two such ported algorithms are included: single-message multi-hop flood
-// (global broadcast) and multi-message flood (MMB), both in the style the
-// abstract MAC layer literature studies [10, 12].
 package amac
 
 import (

@@ -1,22 +1,6 @@
-// Package baseline implements the algorithms the paper positions LBAlg
-// against:
-//
-//   - Decay (Bar-Yehuda, Goldreich, Itai [2]): the classical fixed schedule
-//     of geometrically decreasing broadcast probabilities. Its fixed,
-//     globally known schedule is exactly what the paper's introduction shows
-//     an oblivious link scheduler can exploit (see sched.AntiDecay).
-//   - Round-robin TDMA (Clementi, Monti, Silvestri [4]): collision-free
-//     id-indexed slots. Optimal for fault-tolerant broadcast but inherently
-//     global — its latency scales with the slot count, not local degree —
-//     making it the locality counterpoint in the E-LOWER experiments.
-//   - Chatter: a non-protocol noise source used as adversary decoys.
-//
-// Decay and RoundRobin implement core.Service, so environments, the lbspec
-// checker, and the experiment harness treat them exactly like LBAlg.
 package baseline
 
 import (
-	"fmt"
 	"math"
 
 	"lbcast/internal/core"
@@ -48,18 +32,13 @@ func DecayAckRounds(delta int, eps float64) int {
 // strongest variant against random losses — and precisely the property the
 // anti-Decay scheduler exploits: the schedule is fixed before the execution,
 // so the adversary knows it.
+//
+// The bcast/ack/recv bookkeeping is the shared core.AckWindow; Decay adds
+// only its probability schedule.
 type Decay struct {
-	p   DecayParams
-	env *sim.NodeEnv
-
-	pending    *core.Message
-	activeFor  int
-	seen       map[sim.MsgID]struct{}
-	seq        int
-	onAck      func(core.Message)
-	onRecv     func(core.Message, int)
-	cycleLen   int
-	recordHear bool
+	core.AckWindow
+	p        DecayParams
+	cycleLen int
 }
 
 var _ core.Service = (*Decay)(nil)
@@ -69,33 +48,11 @@ func NewDecay(p DecayParams) *Decay {
 	if p.AckRounds < 1 {
 		p.AckRounds = 1
 	}
-	return &Decay{p: p, seen: make(map[sim.MsgID]struct{}), cycleLen: seedagree.Log2Ceil(p.Delta), recordHear: true}
+	d := &Decay{p: p, cycleLen: seedagree.Log2Ceil(p.Delta)}
+	d.AckRounds = p.AckRounds
+	d.RecordHears = true
+	return d
 }
-
-// Init implements sim.Process.
-func (d *Decay) Init(env *sim.NodeEnv) { d.env = env }
-
-// Bcast implements core.Service.
-func (d *Decay) Bcast(payload any) (sim.MsgID, error) {
-	if d.pending != nil {
-		return 0, fmt.Errorf("baseline: decay node %d already broadcasting", d.env.ID)
-	}
-	d.seq++
-	m := core.Message{ID: sim.NewMsgID(d.env.ID, d.seq), Payload: payload}
-	d.pending = &m
-	d.activeFor = 0
-	d.env.Rec.Record(sim.Event{Node: d.env.ID, Kind: sim.EvBcast, MsgID: m.ID, Payload: payload})
-	return m.ID, nil
-}
-
-// Active implements core.Service.
-func (d *Decay) Active() bool { return d.pending != nil }
-
-// SetOnAck implements core.Service.
-func (d *Decay) SetOnAck(fn func(core.Message)) { d.onAck = fn }
-
-// SetOnRecv implements core.Service.
-func (d *Decay) SetOnRecv(fn func(core.Message, int)) { d.onRecv = fn }
 
 // Prob returns the Decay broadcast probability at global round t:
 // 2^{−(1 + (t−1) mod log Δ)}.
@@ -106,47 +63,14 @@ func (d *Decay) Prob(t int) float64 {
 
 // Transmit implements sim.Process.
 func (d *Decay) Transmit(t int) (any, bool) {
-	if d.pending == nil {
+	frame, active := d.ActiveFrame()
+	if !active {
 		return nil, false
 	}
-	if d.env.Rng.Coin(d.Prob(t)) {
-		return core.DataMsg{Msg: *d.pending}, true
+	if d.Env().Rng.Coin(d.Prob(t)) {
+		return frame, true
 	}
 	return nil, false
-}
-
-// Receive implements sim.Process.
-func (d *Decay) Receive(t, from int, payload any, ok bool) {
-	if ok {
-		if dm, isData := payload.(core.DataMsg); isData {
-			d.deliver(t, from, dm.Msg)
-		}
-	}
-	if d.pending != nil {
-		d.activeFor++
-		if d.activeFor >= d.p.AckRounds {
-			m := *d.pending
-			d.pending = nil
-			d.env.Rec.Record(sim.Event{Round: t, Node: d.env.ID, Kind: sim.EvAck, MsgID: m.ID})
-			if d.onAck != nil {
-				d.onAck(m)
-			}
-		}
-	}
-}
-
-func (d *Decay) deliver(t, from int, m core.Message) {
-	if d.recordHear {
-		d.env.Rec.Record(sim.Event{Round: t, Node: d.env.ID, Kind: sim.EvHear, From: from, MsgID: m.ID})
-	}
-	if _, dup := d.seen[m.ID]; dup {
-		return
-	}
-	d.seen[m.ID] = struct{}{}
-	d.env.Rec.Record(sim.Event{Round: t, Node: d.env.ID, Kind: sim.EvRecv, From: from, MsgID: m.ID})
-	if d.onRecv != nil {
-		d.onRecv(m, from)
-	}
 }
 
 // RoundRobinParams configures the TDMA baseline.
@@ -159,17 +83,10 @@ type RoundRobinParams struct {
 
 // RoundRobin is the id-slotted TDMA baseline: node u transmits exactly in
 // rounds t with (t−1) ≡ u (mod Slots) while active, and acks after one full
-// frame.
+// frame (core.AckWindow with AckRounds = Slots).
 type RoundRobin struct {
-	p   RoundRobinParams
-	env *sim.NodeEnv
-
-	pending   *core.Message
-	activeFor int
-	seen      map[sim.MsgID]struct{}
-	seq       int
-	onAck     func(core.Message)
-	onRecv    func(core.Message, int)
+	core.AckWindow
+	p RoundRobinParams
 }
 
 var _ core.Service = (*RoundRobin)(nil)
@@ -179,75 +96,22 @@ func NewRoundRobin(p RoundRobinParams) *RoundRobin {
 	if p.Slots < 1 {
 		p.Slots = 1
 	}
-	return &RoundRobin{p: p, seen: make(map[sim.MsgID]struct{})}
+	r := &RoundRobin{p: p}
+	r.AckRounds = p.Slots
+	r.RecordHears = true
+	return r
 }
-
-// Init implements sim.Process.
-func (r *RoundRobin) Init(env *sim.NodeEnv) { r.env = env }
-
-// Bcast implements core.Service.
-func (r *RoundRobin) Bcast(payload any) (sim.MsgID, error) {
-	if r.pending != nil {
-		return 0, fmt.Errorf("baseline: round-robin node %d already broadcasting", r.env.ID)
-	}
-	r.seq++
-	m := core.Message{ID: sim.NewMsgID(r.env.ID, r.seq), Payload: payload}
-	r.pending = &m
-	r.activeFor = 0
-	r.env.Rec.Record(sim.Event{Node: r.env.ID, Kind: sim.EvBcast, MsgID: m.ID, Payload: payload})
-	return m.ID, nil
-}
-
-// Active implements core.Service.
-func (r *RoundRobin) Active() bool { return r.pending != nil }
-
-// SetOnAck implements core.Service.
-func (r *RoundRobin) SetOnAck(fn func(core.Message)) { r.onAck = fn }
-
-// SetOnRecv implements core.Service.
-func (r *RoundRobin) SetOnRecv(fn func(core.Message, int)) { r.onRecv = fn }
 
 // Transmit implements sim.Process.
 func (r *RoundRobin) Transmit(t int) (any, bool) {
-	if r.pending == nil {
+	frame, active := r.ActiveFrame()
+	if !active {
 		return nil, false
 	}
-	if (t-1)%r.p.Slots == r.env.ID%r.p.Slots {
-		return core.DataMsg{Msg: *r.pending}, true
+	if (t-1)%r.p.Slots == r.Env().ID%r.p.Slots {
+		return frame, true
 	}
 	return nil, false
-}
-
-// Receive implements sim.Process.
-func (r *RoundRobin) Receive(t, from int, payload any, ok bool) {
-	if ok {
-		if dm, isData := payload.(core.DataMsg); isData {
-			r.deliver(t, from, dm.Msg)
-		}
-	}
-	if r.pending != nil {
-		r.activeFor++
-		if r.activeFor >= r.p.Slots {
-			m := *r.pending
-			r.pending = nil
-			r.env.Rec.Record(sim.Event{Round: t, Node: r.env.ID, Kind: sim.EvAck, MsgID: m.ID})
-			if r.onAck != nil {
-				r.onAck(m)
-			}
-		}
-	}
-}
-
-func (r *RoundRobin) deliver(t, from int, m core.Message) {
-	r.env.Rec.Record(sim.Event{Round: t, Node: r.env.ID, Kind: sim.EvHear, From: from, MsgID: m.ID})
-	if _, dup := r.seen[m.ID]; dup {
-		return
-	}
-	r.seen[m.ID] = struct{}{}
-	r.env.Rec.Record(sim.Event{Round: t, Node: r.env.ID, Kind: sim.EvRecv, From: from, MsgID: m.ID})
-	if r.onRecv != nil {
-		r.onRecv(m, from)
-	}
 }
 
 // Chatter is a noise process that transmits an opaque payload with a fixed

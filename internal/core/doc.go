@@ -1,0 +1,17 @@
+// Package core implements LBAlg, the paper's local broadcast service for
+// the dual graph model (Section 4), on top of the seed agreement service of
+// Section 3.
+//
+// Time is cut into phases of Ts + Tprog rounds. Every phase opens with a
+// preamble: a fresh run of SeedAlg(ε₂) that leaves each node committed to a
+// nearby owner's seed — at most δ distinct seeds per G′ neighborhood with
+// probability ≥ 1 − ε₁/2. The remaining Tprog body rounds use those seeds
+// as shared randomness: each sending node's owner group flips a common coin
+// to decide whether the group "participates" this round, participants draw a
+// common broadcast-probability exponent b ∈ [log Δ] from the seed, and each
+// participant finally flips a private coin with probability 2^{−b} to
+// transmit. Permuting the probability schedule with post-execution
+// randomness is what defeats the oblivious link scheduler: the schedule was
+// fixed before the seeds existed, so it cannot correlate contention with the
+// chosen probabilities.
+package core

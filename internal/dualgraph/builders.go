@@ -32,9 +32,17 @@ const (
 // buildFromEmbedding derives (G, G′) from an embedding: pairs within
 // distance 1 are reliable (condition 1), grey-zone pairs follow the policy,
 // pairs beyond r are unconnected (condition 2).
+//
+// Edges are collected into flat lists and bulk-built via NewGraphFromEdges
+// (sort once, dedupe) instead of sorted-inserted one at a time; at n = 10⁵
+// the insert path's O(deg) per edge made graph construction cost more than
+// the measured sweep rounds. The region scan visits each pair at most once
+// and in the same order as before, so GreyMixed draws the same coin for the
+// same pair and the resulting dual is identical (the golden execution
+// fingerprints pin this).
 func buildFromEmbedding(emb []geo.Point, r float64, policy GreyPolicy, rng *xrand.Source) (*Dual, error) {
 	n := len(emb)
-	g, gp := NewGraph(n), NewGraph(n)
+	var gEdges, gpOnly []Edge
 	idx := geo.BuildRegionIndex(emb)
 	// Scan only region-local windows: any pair within distance r has grid
 	// coordinates differing by at most ceil(r/side)+1.
@@ -47,25 +55,23 @@ func buildFromEmbedding(emb []geo.Point, r float64, policy GreyPolicy, rng *xran
 					if v <= u {
 						continue
 					}
+					e := Edge{U: int32(u), V: int32(v)}
 					dist := geo.Dist(emb[u], emb[v])
 					switch {
 					case dist <= 1:
-						g.AddEdge(u, v)
-						gp.AddEdge(u, v)
+						gEdges = append(gEdges, e)
 					case dist <= r:
 						switch policy {
 						case GreyUnreliable:
-							gp.AddEdge(u, v)
+							gpOnly = append(gpOnly, e)
 						case GreyReliable:
-							g.AddEdge(u, v)
-							gp.AddEdge(u, v)
+							gEdges = append(gEdges, e)
 						case GreyMixed:
 							switch f := rng.Float64(); {
 							case f < 2.0/3:
-								gp.AddEdge(u, v)
+								gpOnly = append(gpOnly, e)
 							case f < 2.0/3+1.0/6:
-								g.AddEdge(u, v)
-								gp.AddEdge(u, v)
+								gEdges = append(gEdges, e)
 							}
 						case GreyNone:
 							// no edge
@@ -77,6 +83,8 @@ func buildFromEmbedding(emb []geo.Point, r float64, policy GreyPolicy, rng *xran
 			}
 		}
 	}
+	g := NewGraphFromEdges(n, gEdges)
+	gp := NewGraphFromEdges(n, append(gEdges, gpOnly...))
 	return NewDual(g, gp, emb, r)
 }
 

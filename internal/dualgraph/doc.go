@@ -1,0 +1,6 @@
+// Package dualgraph implements the dual graph network model of Section 2 of
+// the paper: a pair (G, G′) over a common vertex set with E ⊆ E′, where E
+// holds the reliable links and E′ \ E the unreliable links, together with
+// the r-geographic embedding constraint and the degree bounds Δ and Δ′ that
+// processes are assumed to know.
+package dualgraph

@@ -73,7 +73,7 @@ func runAmac(size Size, seed uint64) (*Result, error) {
 			}
 			flood := amac.NewFlood(layers)
 			e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-				Sched: sched.NewRandom(0.7, seed + uint64(trial)),
+				Sched: sched.NewRandom(0.7, seed+uint64(trial)),
 				Env:   flood, Seed: seed + uint64(trial)*41})
 			if err != nil {
 				return nil, err

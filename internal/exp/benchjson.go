@@ -44,6 +44,9 @@ type BenchFile struct {
 	Results   []BenchResult `json:"results"`
 	GoTest    []GoBench     `json:"go_test,omitempty"`
 	Sweep     []SweepPoint  `json:"sweep,omitempty"`
+	// Comparison embeds the algorithm comparison matrix when the sweep ran
+	// with -compare (see ComparisonReport).
+	Comparison *ComparisonReport `json:"comparison,omitempty"`
 }
 
 // WriteJSON renders the file with stable formatting.

@@ -1,0 +1,476 @@
+// This file implements the comparison-experiment subsystem named in
+// ROADMAP: head-to-head runs of LBAlg against the GHLN contention-management
+// baselines (internal/baseline.Contention) and the SINR local broadcast
+// layer (internal/sinr), over the same constant-density random-geometric
+// topologies as the PR 2 scaling sweep. Every contender implements
+// core.Service and records the same bcast/ack/hear/recv events, so one
+// trace pass extracts comparable ack-latency, progress and
+// message-complexity figures regardless of which physical layer resolved
+// the rounds.
+
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/geo"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/sinr"
+	"lbcast/internal/stats"
+	"lbcast/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E-COMPARE", Claim: "ROADMAP comparison workloads: LBAlg vs SINR local broadcast vs GHLN contention baselines", Run: runComparisonExp})
+	register(Experiment{ID: "E-SINR", Claim: "SINR reception model: isolation range and contention collapse", Run: runSINRExp})
+}
+
+// ComparisonRow is one (topology, algorithm) measurement of the comparison
+// table. JSON field names are the stable schema documented in
+// docs/EXPERIMENTS.md.
+type ComparisonRow struct {
+	// Topology identifies the graph family ("sweep-geometric").
+	Topology string `json:"topology"`
+	// N is the node count of the topology instance.
+	N int `json:"n"`
+	// Algorithm names the contender: lbalg, contention-uniform,
+	// contention-cycling, decay or sinr-local.
+	Algorithm string `json:"algorithm"`
+	// Model is the physical layer the run used: "dualgraph" (scatter over
+	// (G, G′) with the random½ link scheduler) or "sinr".
+	Model string `json:"model"`
+	// Rounds is the executed round budget (identical for every contender
+	// on the same topology instance).
+	Rounds int `json:"rounds"`
+	// Senders is the number of saturated senders driving the run.
+	Senders int `json:"senders"`
+	// Acks is the number of completed (acknowledged) broadcasts.
+	Acks int `json:"acks"`
+	// Reliability is the fraction of acknowledged broadcasts whose every
+	// neighbor (reliable neighbors under the dual-graph model, nodes
+	// within the isolation range under SINR) produced a recv output before
+	// the ack — the LB problem's reliability condition made comparable
+	// across physical layers.
+	Reliability float64 `json:"reliability"`
+	// AckP50/AckP95/AckMax summarise bcast→ack latency in rounds.
+	AckP50 float64 `json:"ack_p50"`
+	AckP95 float64 `json:"ack_p95"`
+	AckMax int     `json:"ack_max"`
+	// FirstRecvP50 is the median bcast→first-recv latency in rounds over
+	// messages that reached at least one listener: the cross-model
+	// progress proxy.
+	FirstRecvP50 float64 `json:"first_recv_p50"`
+	// MsgsPerAck is the message complexity: channel transmissions spent
+	// per completed broadcast.
+	MsgsPerAck float64 `json:"msgs_per_ack"`
+	// DeliveriesPerRound is the channel goodput: successful receptions per
+	// round across all listeners.
+	DeliveriesPerRound float64 `json:"deliveries_per_round"`
+	// CollisionRate is Collisions/(Deliveries+Collisions): the fraction of
+	// reception opportunities lost to interference.
+	CollisionRate float64 `json:"collision_rate"`
+	// Transmissions, Deliveries and Collisions are the raw channel
+	// counters backing the ratios.
+	Transmissions int `json:"transmissions"`
+	Deliveries    int `json:"deliveries"`
+	Collisions    int `json:"collisions"`
+}
+
+// ComparisonReport is the JSON document produced by the comparison runs
+// (`lbsim -exp comparison`, `lbbench -sweep -compare`).
+type ComparisonReport struct {
+	// Schema identifies the document layout; bump on incompatible change.
+	Schema string `json:"schema"`
+	// Seed is the experiment seed all runs derived from.
+	Seed uint64 `json:"seed"`
+	// Size is the experiment scale the point counts were picked at.
+	Size string `json:"size"`
+	// Rows holds one entry per (topology, algorithm), topologies ascending.
+	Rows []ComparisonRow `json:"rows"`
+	// Notes records calibration context for human readers.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *ComparisonReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// comparisonSizeName maps a Size back to its flag spelling for the report.
+func comparisonSizeName(size Size) string {
+	switch size {
+	case SizeMedium:
+		return "medium"
+	case SizeFull:
+		return "full"
+	default:
+		return "small"
+	}
+}
+
+// RunComparison executes the comparison matrix: for each sweep topology
+// (constant-density random geometric, the PR 2 family) every contender runs
+// the same round budget under a saturating-sender environment, and one
+// trace pass per run extracts the ack-latency/progress/message-complexity
+// row. The dual-graph contenders face the oblivious random½ link scheduler;
+// the SINR contender runs over the same embedding with uniform power and
+// DefaultParams.
+func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
+	ns := pick(size, []int{48, 128}, []int{100, 400}, []int{1000, 4000})
+	// The budget must cover the slowest contender's acknowledgement window
+	// (LBAlg's t_ack, tens of thousands of rounds at these Δ); the cap is a
+	// safety valve, not the expected binding constraint.
+	roundsCap := pick(size, 150_000, 250_000, 500_000)
+	const eps = 0.2
+
+	rep := &ComparisonReport{
+		Schema: "lbcast-comparison/v1",
+		Seed:   seed,
+		Size:   comparisonSizeName(size),
+		Notes: []string{
+			"topologies: constant-density random geometric (PR 2 sweep family), r=1.5, grey-zone links unreliable",
+			"dual-graph contenders run against the oblivious random½ link scheduler",
+			fmt.Sprintf("sinr-local runs over the same embedding with uniform power, α=%v β=%v noise=%v",
+				sinr.DefaultParams().Alpha, sinr.DefaultParams().Beta, sinr.DefaultParams().Noise),
+			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+		},
+	}
+	for _, n := range ns {
+		rows, err := runComparisonPoint(n, seed, eps, roundsCap)
+		if err != nil {
+			return nil, fmt.Errorf("exp: comparison n=%d: %w", n, err)
+		}
+		rep.Rows = append(rep.Rows, rows...)
+	}
+	return rep, nil
+}
+
+// comparisonContender couples an algorithm name with its process factory
+// and physical layer.
+type comparisonContender struct {
+	name      string
+	model     string // "dualgraph" or "sinr"
+	ackRounds int    // the contender's acknowledgement window, for the budget
+	build     func(u int) core.Service
+}
+
+// runComparisonPoint runs every contender on one topology instance.
+func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]ComparisonRow, error) {
+	// The PR 2 sweep geometry: constant density ≈ 4 nodes per unit square.
+	side := math.Max(4, math.Sqrt(float64(n)/4))
+	d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	delta, deltaPrime := d.Delta(), d.DeltaPrime()
+	lbParams, err := core.DeriveParams(delta, deltaPrime, d.R, eps)
+	if err != nil {
+		return nil, err
+	}
+	model, err := sinr.NewModel(d.Emb, sinr.UniformPower(1), sinr.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+
+	contenders := []comparisonContender{
+		{"lbalg", "dualgraph", lbParams.TAckBound(), func(int) core.Service {
+			return core.NewLBAlg(lbParams)
+		}},
+		{"contention-uniform", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+			return baseline.NewContention(baseline.ContentionParams{
+				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
+		}},
+		{"contention-cycling", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+			return baseline.NewContention(baseline.ContentionParams{
+				DeltaPrime: deltaPrime, Strategy: baseline.StrategyCycling, Eps: eps})
+		}},
+		{"decay", "dualgraph", baseline.DecayAckRounds(delta, eps), func(int) core.Service {
+			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
+		}},
+		{"sinr-local", "sinr", sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
+			return sinr.NewLocalBcast(sinr.LayerParams{Delta: deltaPrime, Eps: eps})
+		}},
+	}
+
+	// One shared round budget per topology: two full ack cycles of the
+	// slowest contender, capped so outlier parameterisations stay
+	// affordable.
+	rounds := 0
+	for _, c := range contenders {
+		if b := 2*c.ackRounds + 64; b > rounds {
+			rounds = b
+		}
+	}
+	if rounds > roundsCap {
+		rounds = roundsCap
+	}
+	senders := 4
+	if senders > n/4 {
+		senders = max(1, n/4)
+	}
+
+	// Per-model neighbor sets for the reliability metric: reliable (G)
+	// neighbors under the dual-graph model, isolation-range neighbors
+	// under SINR.
+	dualNeigh := func(src int) []int32 { return d.G.Neighbors(src) }
+	var sinrNeighLists [][]int32
+	sinrNeigh := func(src int) []int32 {
+		if sinrNeighLists == nil {
+			sinrNeighLists = isolationNeighbors(d.Emb, model.Params().Range(1))
+		}
+		return sinrNeighLists[src]
+	}
+
+	rows := make([]ComparisonRow, 0, len(contenders))
+	for ci, c := range contenders {
+		svcs := make([]core.Service, n)
+		procs := make([]sim.Process, n)
+		for u := 0; u < n; u++ {
+			svcs[u] = c.build(u)
+			procs[u] = svcs[u]
+		}
+		env := core.NewSaturatingEnv(svcs, senderRange(senders))
+		cfg := sim.Config{Dual: d, Procs: procs, Env: env,
+			Seed: seed + uint64(ci)*1_000_003}
+		if c.model == "sinr" {
+			cfg.Reception = model
+		} else {
+			cfg.Sched = sched.NewRandom(0.5, seed)
+		}
+		engine, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		engine.Run(rounds)
+		neigh := dualNeigh
+		if c.model == "sinr" {
+			neigh = sinrNeigh
+		}
+		row := summarizeComparisonRun(engine.Trace(), rounds, neigh)
+		row.Topology = "sweep-geometric"
+		row.N = n
+		row.Algorithm = c.name
+		row.Model = c.model
+		row.Senders = senders
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// summarizeComparisonRun extracts the comparison metrics from one trace in
+// a single pass over the events. neigh maps a source node to the neighbor
+// set its broadcasts must reach for the reliability metric.
+func summarizeComparisonRun(tr *sim.Trace, rounds int, neigh func(int) []int32) ComparisonRow {
+	bcastRound := make(map[sim.MsgID]int)
+	firstRecv := make(map[sim.MsgID]int)
+	ackRound := make(map[sim.MsgID]int)
+	reached := make(map[sim.MsgID]map[int32]struct{})
+	var ackLat []int
+	for ev := range tr.Events() {
+		switch ev.Kind {
+		case sim.EvBcast:
+			bcastRound[ev.MsgID] = ev.Round
+		case sim.EvAck:
+			if b, ok := bcastRound[ev.MsgID]; ok {
+				ackLat = append(ackLat, ev.Round-b)
+			}
+			ackRound[ev.MsgID] = ev.Round
+		case sim.EvRecv:
+			if _, seen := firstRecv[ev.MsgID]; !seen {
+				firstRecv[ev.MsgID] = ev.Round
+			}
+			// A reception in the ack round itself still counts toward
+			// reliability: the trace drains per-round events in node-id
+			// order, so the sender's EvAck can precede a same-round EvRecv
+			// without the reception being late. Strictly later rounds do
+			// not count, checked in the final tally below.
+			if nl := neigh(ev.MsgID.Src()); isNeighbor(nl, int32(ev.Node)) {
+				if a, acked := ackRound[ev.MsgID]; !acked || ev.Round <= a {
+					set := reached[ev.MsgID]
+					if set == nil {
+						set = make(map[int32]struct{})
+						reached[ev.MsgID] = set
+					}
+					set[int32(ev.Node)] = struct{}{}
+				}
+			}
+		}
+	}
+	reliable, acked := 0, len(ackRound)
+	for id := range ackRound {
+		if len(reached[id]) == len(neigh(id.Src())) {
+			reliable++
+		}
+	}
+	var recvLat []int
+	for id, r := range firstRecv {
+		if b, ok := bcastRound[id]; ok {
+			recvLat = append(recvLat, r-b)
+		}
+	}
+	row := ComparisonRow{
+		Rounds:        rounds,
+		Acks:          len(ackLat),
+		Transmissions: tr.Transmissions,
+		Deliveries:    tr.Deliveries,
+		Collisions:    tr.Collisions,
+	}
+	if acked > 0 {
+		row.Reliability = float64(reliable) / float64(acked)
+	}
+	if len(ackLat) > 0 {
+		row.AckP50 = stats.QuantileInts(ackLat, 0.5)
+		row.AckP95 = stats.QuantileInts(ackLat, 0.95)
+		for _, l := range ackLat {
+			if l > row.AckMax {
+				row.AckMax = l
+			}
+		}
+		row.MsgsPerAck = float64(tr.Transmissions) / float64(len(ackLat))
+	}
+	if len(recvLat) > 0 {
+		row.FirstRecvP50 = stats.QuantileInts(recvLat, 0.5)
+	}
+	if rounds > 0 {
+		row.DeliveriesPerRound = float64(tr.Deliveries) / float64(rounds)
+	}
+	if tr.Deliveries+tr.Collisions > 0 {
+		row.CollisionRate = float64(tr.Collisions) / float64(tr.Deliveries+tr.Collisions)
+	}
+	return row
+}
+
+// ComparisonTable renders a report as a stats table for terminal output.
+func ComparisonTable(rep *ComparisonReport) *stats.Table {
+	tbl := &stats.Table{
+		Title: "E-COMPARE: LBAlg vs SINR local broadcast vs contention baselines",
+		Columns: []string{"n", "algorithm", "model", "rounds", "acks", "reliability",
+			"ack p50", "1st-recv p50", "msgs/ack", "deliv/round", "collision rate"},
+		Notes: rep.Notes,
+	}
+	for _, r := range rep.Rows {
+		tbl.AddRow(r.N, r.Algorithm, r.Model, r.Rounds, r.Acks,
+			fmt.Sprintf("%.3f", r.Reliability), r.AckP50, r.FirstRecvP50,
+			stats.FormatFloat(r.MsgsPerAck), stats.FormatFloat(r.DeliveriesPerRound),
+			fmt.Sprintf("%.3f", r.CollisionRate))
+	}
+	return tbl
+}
+
+// runComparisonExp adapts RunComparison to the experiment registry.
+func runComparisonExp(size Size, seed uint64) (*Result, error) {
+	rep, err := RunComparison(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "E-COMPARE",
+		Claim:  "ROADMAP comparison workloads (GHLN contention bounds; HHL SINR local broadcast)",
+		Tables: []*stats.Table{ComparisonTable(rep)},
+	}, nil
+}
+
+// runSINRExp checks the SINR model's two defining behaviours on a sweep
+// topology: the isolation reception range of a lone transmitter, and the
+// collapse of goodput as the transmit probability — and with it the
+// aggregate interference — rises.
+func runSINRExp(size Size, seed uint64) (*Result, error) {
+	n := pick(size, 64, 256, 1024)
+	rounds := pick(size, 400, 1000, 4000)
+	side := math.Max(4, math.Sqrt(float64(n)/4))
+	d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	params := sinr.DefaultParams()
+	model, err := sinr.NewModel(d.Emb, sinr.UniformPower(1), params)
+	if err != nil {
+		return nil, err
+	}
+
+	// Isolation range: with exactly node 0 transmitting, every node inside
+	// Range(1) must decode it and every node outside must hear silence.
+	out := make([]int32, n)
+	model.Resolve(1, []int32{0}, out)
+	rangeViolations := 0
+	isolationRange := params.Range(1)
+	for u := 1; u < n; u++ {
+		inRange := geo.Dist(d.Emb[0], d.Emb[u]) <= isolationRange
+		if inRange != (out[u] == 0) {
+			rangeViolations++
+		}
+	}
+
+	tbl := &stats.Table{
+		Title:   "E-SINR: isolation range and contention collapse (uniform power)",
+		Columns: []string{"tx prob", "rounds", "deliveries/round", "collision rate"},
+		Notes: []string{
+			fmt.Sprintf("n=%d sweep-geometric; α=%v β=%v noise=%v ⇒ isolation range %.3f",
+				n, params.Alpha, params.Beta, params.Noise, isolationRange),
+			fmt.Sprintf("lone-transmitter range violations: %d (must be 0)", rangeViolations),
+		},
+	}
+	for _, p := range []float64{0.02, 0.05, 0.1, 0.25, 0.5} {
+		procs := make([]sim.Process, n)
+		for u := range procs {
+			procs[u] = &sweepProc{p: p}
+		}
+		e, err := sim.New(sim.Config{Dual: d, Procs: procs, Reception: model, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		e.Run(rounds)
+		tr := e.Trace()
+		colRate := 0.0
+		if tr.Deliveries+tr.Collisions > 0 {
+			colRate = float64(tr.Collisions) / float64(tr.Deliveries+tr.Collisions)
+		}
+		tbl.AddRow(p, rounds, stats.FormatFloat(float64(tr.Deliveries)/float64(rounds)),
+			fmt.Sprintf("%.3f", colRate))
+	}
+	if rangeViolations > 0 {
+		return nil, fmt.Errorf("E-SINR: %d isolation-range violations", rangeViolations)
+	}
+	return &Result{ID: "E-SINR", Claim: "SINR reception model sanity", Tables: []*stats.Table{tbl}}, nil
+}
+
+// isNeighbor reports whether v is in the ascending neighbor list.
+func isNeighbor(neigh []int32, v int32) bool {
+	_, ok := slices.BinarySearch(neigh, v)
+	return ok
+}
+
+// isolationNeighbors returns, per node, the ascending list of nodes within
+// the given distance — the SINR counterpart of reliable adjacency for the
+// reliability metric. The region-grid index keeps it O(n · density) rather
+// than all-pairs.
+func isolationNeighbors(emb []geo.Point, radius float64) [][]int32 {
+	n := len(emb)
+	out := make([][]int32, n)
+	idx := geo.BuildRegionIndex(emb)
+	window := int32(math.Ceil(radius/geo.RegionSide)) + 1
+	for u := 0; u < n; u++ {
+		ru := idx.Of[u]
+		for di := -window; di <= window; di++ {
+			for dj := -window; dj <= window; dj++ {
+				for _, v := range idx.Members[geo.RegionID{I: ru.I + di, J: ru.J + dj}] {
+					if v != u && geo.Dist(emb[u], emb[v]) <= radius {
+						out[u] = append(out[u], int32(v))
+					}
+				}
+			}
+		}
+		slices.Sort(out[u])
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lbcast/internal/sim"
+)
+
+// TestSummarizeComparisonRun feeds a hand-written trace through the metric
+// extraction: two broadcasts from node 1, one acked after reaching its only
+// neighbor (reliable), one acked without (unreliable).
+func TestSummarizeComparisonRun(t *testing.T) {
+	tr := &sim.Trace{}
+	m1, m2 := sim.NewMsgID(1, 1), sim.NewMsgID(1, 2)
+	events := []sim.Event{
+		{Round: 1, Node: 1, Kind: sim.EvBcast, MsgID: m1},
+		{Round: 3, Node: 2, Kind: sim.EvRecv, From: 1, MsgID: m1},
+		{Round: 5, Node: 1, Kind: sim.EvAck, MsgID: m1},
+		{Round: 6, Node: 1, Kind: sim.EvBcast, MsgID: m2},
+		{Round: 9, Node: 1, Kind: sim.EvAck, MsgID: m2},
+	}
+	for _, ev := range events {
+		tr.Record(ev)
+	}
+	tr.Transmissions, tr.Deliveries, tr.Collisions = 10, 4, 1
+
+	neigh := func(src int) []int32 { return []int32{2} }
+	row := summarizeComparisonRun(tr, 20, neigh)
+
+	if row.Acks != 2 {
+		t.Errorf("acks = %d, want 2", row.Acks)
+	}
+	if row.Reliability != 0.5 {
+		t.Errorf("reliability = %v, want 0.5 (one of two acked broadcasts reached node 2)", row.Reliability)
+	}
+	if row.AckP50 != 3.5 || row.AckMax != 4 {
+		t.Errorf("ack p50/max = %v/%d, want 3.5/4", row.AckP50, row.AckMax)
+	}
+	if row.FirstRecvP50 != 2 {
+		t.Errorf("first-recv p50 = %v, want 2", row.FirstRecvP50)
+	}
+	if row.MsgsPerAck != 5 {
+		t.Errorf("msgs/ack = %v, want 5", row.MsgsPerAck)
+	}
+	if row.DeliveriesPerRound != 0.2 {
+		t.Errorf("deliveries/round = %v, want 0.2", row.DeliveriesPerRound)
+	}
+	if row.CollisionRate != 0.2 {
+		t.Errorf("collision rate = %v, want 0.2", row.CollisionRate)
+	}
+}
+
+func TestIsNeighbor(t *testing.T) {
+	neigh := []int32{2, 5, 9}
+	for _, v := range neigh {
+		if !isNeighbor(neigh, v) {
+			t.Errorf("member %d not found", v)
+		}
+	}
+	for _, v := range []int32{0, 3, 10} {
+		if isNeighbor(neigh, v) {
+			t.Errorf("non-member %d found", v)
+		}
+	}
+	if isNeighbor(nil, 1) {
+		t.Error("empty list matched")
+	}
+}
+
+// TestComparisonReportJSON pins the documented schema fields.
+func TestComparisonReportJSON(t *testing.T) {
+	rep := &ComparisonReport{
+		Schema: "lbcast-comparison/v1",
+		Seed:   7,
+		Size:   "small",
+		Rows: []ComparisonRow{{
+			Topology: "sweep-geometric", N: 48, Algorithm: "lbalg", Model: "dualgraph",
+			Rounds: 100, Senders: 4, Acks: 2, Reliability: 1,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["schema"] != "lbcast-comparison/v1" {
+		t.Errorf("schema field = %v", decoded["schema"])
+	}
+	rows, ok := decoded["rows"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("rows = %v", decoded["rows"])
+	}
+	row := rows[0].(map[string]any)
+	for _, key := range []string{"topology", "n", "algorithm", "model", "rounds", "senders",
+		"acks", "reliability", "ack_p50", "ack_p95", "ack_max", "first_recv_p50",
+		"msgs_per_ack", "deliveries_per_round", "collision_rate",
+		"transmissions", "deliveries", "collisions"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("row missing schema key %q", key)
+		}
+	}
+}
+
+// TestComparisonSmoke runs the real matrix at a reduced scale by driving
+// one topology point directly.
+func TestComparisonSmoke(t *testing.T) {
+	rows, err := runComparisonPoint(24, 1, 0.2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5 contenders", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Algorithm] = true
+		if r.Rounds != rows[0].Rounds {
+			t.Errorf("%s ran %d rounds, want shared budget %d", r.Algorithm, r.Rounds, rows[0].Rounds)
+		}
+		if r.Transmissions == 0 {
+			t.Errorf("%s recorded no transmissions", r.Algorithm)
+		}
+	}
+	for _, name := range []string{"lbalg", "contention-uniform", "contention-cycling", "decay", "sinr-local"} {
+		if !seen[name] {
+			t.Errorf("missing contender %s", name)
+		}
+	}
+}

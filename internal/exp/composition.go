@@ -70,7 +70,7 @@ func runMMB(size Size, seed uint64) (*Result, error) {
 			}
 			flood := amac.NewFlood(layers)
 			e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-				Sched: sched.NewRandom(0.6, seed + uint64(trial)), Env: flood,
+				Sched: sched.NewRandom(0.6, seed+uint64(trial)), Env: flood,
 				Seed: seed + uint64(trial)*17 + uint64(k)})
 			if err != nil {
 				return nil, err
@@ -151,7 +151,7 @@ func runConsensusExp(size Size, seed uint64) (*Result, error) {
 				return nil, err
 			}
 			e, err := sim.New(sim.Config{Dual: d, Procs: procs,
-				Sched: sched.NewRandom(0.5, seed + uint64(trial)), Env: cons,
+				Sched: sched.NewRandom(0.5, seed+uint64(trial)), Env: cons,
 				Seed: seed + uint64(trial)*29 + uint64(n)})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,8 @@
+// Package exp is the benchmark harness: one experiment per quantitative
+// claim of the paper, plus the comparison and scaling workloads, all
+// catalogued with their invocations and output schemas in
+// docs/EXPERIMENTS.md. Each experiment runs seeded Monte-Carlo trials on
+// the simulator and renders tables (and, for the comparison and sweep
+// runs, machine-readable JSON). cmd/lbbench drives the registry; the root
+// bench_test.go wraps each experiment in a testing.B benchmark.
+package exp

@@ -1,8 +1,3 @@
-// Package exp is the benchmark harness: one experiment per quantitative
-// claim of the paper, as inventoried in DESIGN.md §1/§4. Each experiment
-// runs seeded Monte-Carlo trials on the simulator and renders the tables
-// recorded in EXPERIMENTS.md. cmd/lbbench drives the registry; the root
-// bench_test.go wraps each experiment in a testing.B benchmark.
 package exp
 
 import (
@@ -23,7 +18,7 @@ const (
 	SizeSmall Size = iota + 1
 	// SizeMedium is the default CLI scale.
 	SizeMedium
-	// SizeFull is the EXPERIMENTS.md publication scale.
+	// SizeFull is the docs/EXPERIMENTS.md publication scale.
 	SizeFull
 )
 
@@ -50,7 +45,7 @@ type Result struct {
 
 // Experiment couples a claim with the code that regenerates it.
 type Experiment struct {
-	// ID is the experiment identifier from DESIGN.md (e.g. "E-PROG").
+	// ID is the experiment identifier from docs/EXPERIMENTS.md (e.g. "E-PROG").
 	ID string
 	// Claim names the paper statement being reproduced.
 	Claim string
@@ -58,12 +53,12 @@ type Experiment struct {
 	Run func(size Size, seed uint64) (*Result, error)
 }
 
-// registry holds the experiments in DESIGN.md order.
+// registry holds the experiments in registration order.
 var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
-// All returns the experiments in registration (DESIGN.md) order.
+// All returns the experiments in registration order.
 func All() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)

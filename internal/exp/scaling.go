@@ -41,12 +41,15 @@ type sweepProc struct {
 	payload any
 }
 
+// Init implements sim.Process.
 func (s *sweepProc) Init(env *sim.NodeEnv) { s.env = env; s.payload = env.ID }
 
+// Transmit implements sim.Process: a private coin at the sweep probability.
 func (s *sweepProc) Transmit(t int) (any, bool) {
 	return s.payload, s.env.Rng.Coin(s.p)
 }
 
+// Receive implements sim.Process: successful receptions become hear events.
 func (s *sweepProc) Receive(t, from int, payload any, ok bool) {
 	if ok {
 		s.env.Rec.Record(sim.Event{Round: t, Node: s.env.ID, Kind: sim.EvHear, From: from})

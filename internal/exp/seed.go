@@ -68,7 +68,7 @@ func runSeedDelta(size Size, seed uint64) (*Result, error) {
 			var counts []float64
 			worst := 0
 			for trial := 0; trial < trials; trial++ {
-				procs, err := runSeedInstance(d, p, sched.NewRandom(0.5, seed + uint64(trial)), seed+uint64(trial)*7919)
+				procs, err := runSeedInstance(d, p, sched.NewRandom(0.5, seed+uint64(trial)), seed+uint64(trial)*7919)
 				if err != nil {
 					return nil, err
 				}

@@ -1,7 +1,3 @@
-// Package geo provides the Euclidean-plane machinery from Appendix A of the
-// paper: vertex embeddings, the fixed grid partition of the plane into
-// convex regions of diameter at most 1, and the region graph G_{R,r} whose
-// f-boundedness (Lemma A.1/A.2) underpins the seed agreement analysis.
 package geo
 
 import (

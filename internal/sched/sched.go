@@ -1,13 +1,3 @@
-// Package sched provides link schedulers for the dual graph model: the
-// adversarial entity that decides, for every round t, which unreliable edges
-// (E′ \ E) join the communication topology G_t.
-//
-// The paper's guarantees assume an oblivious scheduler — the whole schedule
-// G = G₁, G₂, … is fixed before the execution starts. Every scheduler here
-// except Adaptive is oblivious: Included(t, edge) is a pure function of its
-// arguments. Adaptive implements the stronger adversary of [11] (Ghaffari,
-// Lynch, Newport, PODC 2013) used by the E-ADAPT ablation to reproduce the
-// result that efficient progress is impossible against adaptivity.
 package sched
 
 import (

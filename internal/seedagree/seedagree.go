@@ -1,13 +1,3 @@
-// Package seedagree implements the seed agreement service of Section 3 of
-// the paper: the Seed(δ, ε) specification and the SeedAlg algorithm that
-// satisfies it in the dual graph model.
-//
-// Seed agreement provides loose coordination: every participating node
-// generates a seed from a known domain S = {0,1}^κ, and eventually commits
-// to a seed generated by some nearby node (possibly its own). Safety bounds
-// the number of distinct committed seed owners in any G′ neighborhood by δ;
-// this is what lets LBAlg partition each neighborhood's senders into at most
-// δ groups that share permutation randomness.
 package seedagree
 
 import (

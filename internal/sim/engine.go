@@ -37,6 +37,9 @@ type Config struct {
 	Procs []Process
 	// Sched may be nil: no unreliable edges are ever included.
 	Sched LinkScheduler
+	// Reception, when non-nil, replaces the dual-graph scatter as the
+	// physical layer (see ReceptionModel). Mutually exclusive with Sched.
+	Reception ReceptionModel
 	// Env may be nil: no environment inputs or outputs.
 	Env Environment
 	// Seed derives every node's private randomness stream.
@@ -87,6 +90,7 @@ type Engine struct {
 	sched  LinkScheduler
 	batch  BatchLinkScheduler  // non-nil when sched supports batch fills
 	sparse SparseLinkScheduler // non-nil when sched supports subset queries
+	recv   ReceptionModel      // non-nil when a model replaces the scatter
 	env    Environment
 	driver Driver
 	wrk    int
@@ -112,8 +116,9 @@ type Engine struct {
 	rxFrom   []int32
 	recs     []nodeRecorder
 
-	maxUDeg int    // max unreliable degree, sizes IncludedFor scratch
-	incBuf  []bool // sequential-path IncludedFor scratch
+	maxUDeg int     // max unreliable degree, sizes IncludedFor scratch
+	incBuf  []bool  // sequential-path IncludedFor scratch
+	recvOut []int32 // ReceptionModel per-node outcome scratch
 
 	// touched lists the nodes reached by this round's scatter (stamp moved
 	// to the current round), so stats run over O(Σ deg) entries, not all n.
@@ -155,6 +160,9 @@ func New(cfg Config) (*Engine, error) {
 	if len(cfg.Procs) != cfg.Dual.N() {
 		return nil, fmt.Errorf("sim: %d processes for %d vertices", len(cfg.Procs), cfg.Dual.N())
 	}
+	if cfg.Reception != nil && cfg.Sched != nil {
+		return nil, fmt.Errorf("sim: Config.Sched and Config.Reception are mutually exclusive")
+	}
 	driver := cfg.Driver
 	if driver == 0 {
 		driver = DriverSequential
@@ -185,6 +193,10 @@ func New(cfg Config) (*Engine, error) {
 		rxStamp:  make([]int32, n),
 		rxFrom:   make([]int32, n),
 		recs:     make([]nodeRecorder, n),
+	}
+	if cfg.Reception != nil {
+		e.recv = cfg.Reception
+		e.recvOut = make([]int32, n)
 	}
 	for u := 0; u < n; u++ {
 		if d := int(e.uCSR.Off[u+1] - e.uCSR.Off[u]); d > e.maxUDeg {
@@ -295,6 +307,15 @@ func (e *Engine) Step() {
 	// the engine falls back to it. Batch-capable schedulers without subset
 	// queries fill the whole mask in one call; the shim queries the mask
 	// once per edge per round.
+	// A reception model bypasses the whole dual-graph path: no link schedule
+	// is resolved and no scatter runs; the model fills the per-node outcome
+	// slots directly (see resolveModel).
+	if e.recv != nil {
+		e.resolveModel(t)
+		e.finishRound(t)
+		return
+	}
+
 	mode := incNone
 	if e.sparse != nil {
 		if v, ok := e.sparse.Uniform(t); ok {
@@ -330,7 +351,14 @@ func (e *Engine) Step() {
 	// peers, costing O(Σ deg over transmitters) and yielding collision
 	// counts as a by-product. Listeners never scan their neighborhoods.
 	e.scatter(t, mode)
+	e.finishRound(t)
+}
 
+// finishRound runs the delivery, statistics, trace-drain and environment-
+// output steps shared by the dual-graph scatter and reception-model paths.
+// It expects the per-node reception state (rxStamp/rxCount/rxFrom, touched)
+// for round t to be fully resolved.
+func (e *Engine) finishRound(t int) {
 	// Delivery mutates process state; each node resolves its own reception
 	// outcome from the scatter counts (deliver fuses the per-node outcome
 	// decision with the Receive call, so no separate O(n) pass runs).
@@ -498,6 +526,34 @@ func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 			} else {
 				e.rxCount[u] += sh.count[u]
 			}
+		}
+	}
+}
+
+// resolveModel asks the reception model for the round's per-node outcomes
+// and translates them into the engine's scatter-count representation, so
+// delivery and the trace statistics run unchanged: a clean reception becomes
+// count 1 with the transmitter in rxFrom, a Blocked outcome becomes count 2
+// (indistinguishable from a dual-graph collision downstream), and silence
+// leaves the node untouched.
+func (e *Engine) resolveModel(t int) {
+	e.touched = e.touched[:0]
+	e.recv.Resolve(t, e.txList, e.recvOut)
+	t32 := int32(t)
+	for u, v := range e.recvOut {
+		if e.transmit[u] {
+			continue
+		}
+		switch {
+		case v >= 0:
+			e.rxStamp[u] = t32
+			e.rxCount[u] = 1
+			e.rxFrom[u] = v
+			e.touched = append(e.touched, int32(u))
+		case v == Blocked:
+			e.rxStamp[u] = t32
+			e.rxCount[u] = 2
+			e.touched = append(e.touched, int32(u))
 		}
 	}
 }

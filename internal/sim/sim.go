@@ -1,20 +1,3 @@
-// Package sim implements the synchronous execution model of Section 2 of
-// the paper: rounds 1, 2, … in which every process first receives inputs
-// from the environment, then decides to transmit or receive, then receives
-// (subject to the collision rule), and finally emits outputs which the
-// environment consumes.
-//
-// The communication topology of round t is G's reliable edges plus the
-// subset of unreliable edges the link scheduler includes for t. Node u
-// receives message m from v in round t iff u is receiving, v transmits m,
-// and v is the only transmitter among u's neighbors in that topology;
-// otherwise u receives the null indicator ⊥ (no collision detection).
-//
-// Three interchangeable drivers run the same semantics: a sequential loop, a
-// chunked worker pool, and a goroutine-per-node driver in which every
-// simulated process is its own goroutine synchronised by round barriers.
-// Per-node deterministic RNG streams make all three produce identical
-// executions.
 package sim
 
 import (
@@ -24,6 +7,11 @@ import (
 // NoTransmitter marks the From field of a reception event when nothing was
 // delivered (silence or collision).
 const NoTransmitter = -1
+
+// Blocked marks a ReceptionModel outcome where audible energy failed to
+// decode (interference or sub-threshold SINR). The engine counts it as a
+// collision in the trace statistics; the process still receives ⊥.
+const Blocked = -2
 
 // Process is the behaviour of one node, the paper's "process automaton".
 // The engine calls Init once, then Transmit and Receive once per round in
@@ -101,6 +89,29 @@ type SparseLinkScheduler interface {
 	IncludedFor(t int, edges []int32, out []bool)
 }
 
+// ReceptionModel is an alternative physical layer: instead of resolving
+// receptions through the dual graph topology, the link schedule and the
+// single-transmitter collision rule, the engine hands the round's transmitter
+// set to the model and lets it decide who hears whom. This is how non-graph
+// reception semantics — e.g. the SINR model of internal/sinr, where
+// decodability depends on the aggregate interference of all concurrent
+// transmitters — plug into the same engine, drivers and trace machinery.
+//
+// A Config supplies either a Sched (dual-graph path) or a Reception model,
+// never both; with Reception set the dual graph still provides the vertex
+// set and the Δ/Δ′ bounds handed to processes, but its edges play no role
+// in delivery.
+type ReceptionModel interface {
+	// Resolve decides round t: txs is the ascending list of transmitting
+	// nodes, and out (one slot per node, pre-sized by the engine) must be
+	// filled for every node with the id of the unique transmitter that node
+	// successfully receives, NoTransmitter for silence, or Blocked for
+	// energy that failed to decode (counted as a collision). Entries for
+	// transmitting nodes are ignored — transmitters always receive ⊥.
+	// Resolve must be a deterministic function of (t, txs).
+	Resolve(t int, txs []int32, out []int32)
+}
+
 // TransmitterAware is implemented by adaptive (non-oblivious) schedulers.
 // The engine calls ObserveTransmitters after transmit decisions are fixed
 // and before Included is queried for round t, giving the adversary exactly
@@ -133,4 +144,5 @@ type Recorder interface {
 // discardRecorder drops all events; used when no trace is attached.
 type discardRecorder struct{}
 
+// Record implements Recorder by dropping the event.
 func (discardRecorder) Record(Event) {}

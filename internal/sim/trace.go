@@ -329,6 +329,8 @@ type nodeRecorder struct {
 	node   int32
 }
 
+// Record implements Recorder: events buffer per node and enter the trace in
+// deterministic node order at the next engine drain.
 func (r *nodeRecorder) Record(ev Event) {
 	r.buf = append(r.buf, ev)
 	if !r.listed && r.eng != nil {

@@ -1,0 +1,25 @@
+// Package sinr implements the physical (SINR) reception model and a local
+// broadcast layer for it, the comparison counterpart named in ROADMAP:
+// Halldórsson, Holzer and Lynch, "A Local Broadcast Layer for the SINR
+// Network Model" (and Halldórsson–Mitra, "Towards Tight Bounds for Local
+// Broadcasting").
+//
+// Where the dual graph model of the source paper resolves a round through a
+// topology plus the single-transmitter collision rule, the SINR model is
+// geometric and additive: node u decodes transmitter v iff the
+// signal-to-interference-plus-noise ratio
+//
+//	SINR(u, v) = P_v·d(u,v)^{−α} / (N + Σ_{w≠v} P_w·d(u,w)^{−α})
+//
+// is at least the threshold β, where the sum ranges over all other
+// concurrent transmitters, P_w is w's transmission power (pluggable through
+// PowerAssignment), α is the path-loss exponent and N the ambient noise
+// power. Model implements sim.ReceptionModel, so the same engine, drivers
+// and trace machinery that run the dual-graph experiments run the SINR
+// ones; LocalBcast is the layer protocol (a core.Service) that competes for
+// the channel under these semantics.
+//
+// The node placements come from internal/geo — the comparison experiments
+// reuse the random-geometric embeddings of the PR 2 scaling sweep, so
+// head-to-head runs see the same node positions under both physical layers.
+package sinr

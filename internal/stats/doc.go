@@ -1,0 +1,4 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming summaries, quantiles, binomial confidence
+// intervals, log–log regression for scaling-shape checks, and text tables.
+package stats

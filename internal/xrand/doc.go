@@ -1,0 +1,16 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used throughout the simulator.
+//
+// Determinism is a hard requirement: the paper's model resolves all
+// non-determinism (link scheduler, environment) before an execution begins,
+// so the only randomness left is the processes' coin flips. Giving every
+// process its own independent stream — derived from (experiment seed, node
+// index) — makes executions reproducible and makes the sequential and
+// concurrent engine drivers produce bit-identical traces regardless of
+// goroutine scheduling.
+//
+// The generator is xoshiro256** seeded via SplitMix64, both public-domain
+// algorithms by Blackman and Vigna. They are implemented here directly so the
+// module stays stdlib-only and the streams are stable across Go releases
+// (math/rand makes no cross-version stream guarantees).
+package xrand

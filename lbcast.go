@@ -27,7 +27,7 @@
 //
 // The internal packages hold the full machinery: the round engine, seed
 // agreement, the LB(t_ack, t_prog, ε) specification checker, baselines and
-// the experiment harness (see DESIGN.md and EXPERIMENTS.md).
+// the experiment harness (see docs/ARCHITECTURE.md and docs/EXPERIMENTS.md).
 package lbcast
 
 import (

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# mdlinkcheck.sh — verify that every relative markdown link in the given
+# files points at an existing file (or file#anchor). External (http/https/
+# mailto) links and pure in-page anchors are skipped; this is a docs-drift
+# gate, not a network crawler.
+#
+# Usage: scripts/mdlinkcheck.sh README.md ROADMAP.md docs/*.md
+set -u
+
+fail=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "mdlinkcheck: $file: no such file" >&2
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Extract the (target) of every [text](target) occurrence.
+  while IFS= read -r target; do
+    case "$target" in
+    http://* | https://* | mailto:*) continue ;;
+    '#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "mdlinkcheck: $file: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+exit $fail
