@@ -1,9 +1,14 @@
 package lbcast
 
 import (
+	"math"
 	"testing"
 
+	"lbcast/internal/dualgraph"
 	"lbcast/internal/exp"
+	"lbcast/internal/geo"
+	"lbcast/internal/sinr"
+	"lbcast/internal/xrand"
 )
 
 // benchmarkExperiment runs one claim-reproduction experiment per iteration
@@ -149,5 +154,50 @@ func benchmarkNetworkRoundLarge(b *testing.B, driver Driver) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.Step()
+	}
+}
+
+// BenchmarkGeometricConstruction measures end-to-end dual graph construction
+// at the 10⁴ sweep point: placement, grid-index pair scan, bulk graph build
+// and trusted assembly. This is the construction path the CI regression gate
+// watches alongside the round benchmarks.
+func BenchmarkGeometricConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dualgraph.RandomGeometric(10000, 50, 50, 1.5,
+			dualgraph.GreyUnreliable, xrand.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSINRRound measures one region-bucketed SINR resolution round at
+// the 10⁴ sweep point with 10% of nodes transmitting — the physical-layer
+// hot path of the large-n SINR comparison rows.
+func BenchmarkSINRRound(b *testing.B) {
+	const n = 10000
+	rng := xrand.New(1)
+	side := math.Sqrt(float64(n) / 4)
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	params := sinr.DefaultParams()
+	params.Tolerance = 0.05
+	model, err := sinr.NewModel(pos, sinr.UniformPower(1), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var txs []int32
+	for u := 0; u < n; u++ {
+		if rng.Coin(0.1) {
+			txs = append(txs, int32(u))
+		}
+	}
+	out := make([]int32, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Resolve(i+1, txs, out)
 	}
 }

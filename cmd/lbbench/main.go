@@ -54,6 +54,7 @@ func main() {
 	}
 
 	var sweepPoints []exp.SweepPoint
+	var consPoints []exp.ConstructionPoint
 	var compareRep *exp.ComparisonReport
 	if *sweep {
 		ns, err := parseSweepNs(*sweepN)
@@ -61,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		sweepPoints, err = exp.RunScalingSweep(ns, *seedFlag, *sweepP)
+		sweepPoints, consPoints, err = exp.RunScalingSweep(ns, *seedFlag, *sweepP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -81,6 +82,12 @@ func main() {
 		out := os.Stderr
 		if *benchJSON == "" {
 			out = os.Stdout
+		}
+		if consPoints != nil {
+			if err := exp.ConstructionTable(consPoints).Render(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		if sweepPoints != nil {
 			if err := exp.SweepTable(sweepPoints).Render(out); err != nil {
@@ -115,7 +122,7 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt,
-			*goBench, *noteFlag, sweepPoints, compareRep); err != nil {
+			*goBench, *noteFlag, sweepPoints, consPoints, compareRep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -218,14 +225,15 @@ func runGate(baselinePath, goBenchPath, names string, limit float64) error {
 // machine-readable benchmark file.
 func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName string,
 	seed uint64, iters int, goBenchPath, note string, sweepPoints []exp.SweepPoint,
-	compareRep *exp.ComparisonReport) error {
+	consPoints []exp.ConstructionPoint, compareRep *exp.ComparisonReport) error {
 	file := exp.BenchFile{
-		Note:       note,
-		GoVersion:  runtime.Version(),
-		Size:       sizeName,
-		Seed:       seed,
-		Sweep:      sweepPoints,
-		Comparison: compareRep,
+		Note:         note,
+		GoVersion:    runtime.Version(),
+		Size:         sizeName,
+		Seed:         seed,
+		Sweep:        sweepPoints,
+		Construction: consPoints,
+		Comparison:   compareRep,
 	}
 	for _, e := range todo {
 		r, err := exp.MeasureExperiment(e, size, seed, iters)

@@ -76,7 +76,7 @@ func run(n int, w, h, r float64, seed uint64, phases int) error {
 	tbl := &stats.Table{Title: "degree summary", Columns: []string{"graph", "mean", "max"}}
 	tbl.AddRow("G (reliable)", degG.Mean(), degG.Max())
 	tbl.AddRow("G' (all links)", degGp.Mean(), degGp.Max())
-	idx := geo.BuildRegionIndex(d.Emb)
+	idx := geo.BuildGridIndex(d.Emb)
 	g := geo.BuildRegionGraph(idx.Regions(), r)
 	ok, region, hops, count := g.CheckFBounded(3)
 	if ok {

@@ -251,16 +251,38 @@ type unreliableArc struct {
 // vertex count and every edge of g must appear in gp. emb may be nil; if
 // given, it must have one point per vertex and witness the r-geographic
 // property for the supplied r.
+//
+// NewDual is the untrusted entry point: input of unknown provenance
+// (abstract edge lists, deserialised topologies, tests) goes through the
+// full Validate pass. The geometric builders, which enforce the
+// r-geographic conditions by construction, use newDualTrusted and skip the
+// re-validation — it was the dominant cost of large constructions.
 func NewDual(g, gp *Graph, emb []geo.Point, r float64) (*Dual, error) {
 	d := &Dual{G: g, Gp: gp, Emb: emb, R: r}
-	if err := d.validate(); err != nil {
+	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	d.index()
 	return d, nil
 }
 
-func (d *Dual) validate() error {
+// newDualTrusted assembles a dual graph without validating the invariants:
+// the caller vouches that E ⊆ E′ and, when emb is non-nil, that the
+// r-geographic conditions hold. Reserved for builders that enforce those
+// conditions structurally; everything else must go through NewDual.
+// trusted_test.go pins that both paths produce structurally identical duals
+// and that Validate still rejects inputs the trusted path would accept.
+func newDualTrusted(g, gp *Graph, emb []geo.Point, r float64) *Dual {
+	d := &Dual{G: g, Gp: gp, Emb: emb, R: r}
+	d.index()
+	return d
+}
+
+// Validate checks the dual graph invariants — shared vertex set, E ⊆ E′,
+// r ≥ 1, and (when an embedding is present) both r-geographic conditions.
+// NewDual runs it on every untrusted input; tests run it to certify the
+// trusted construction path.
+func (d *Dual) Validate() error {
 	if d.G == nil || d.Gp == nil {
 		return fmt.Errorf("dualgraph: nil graph")
 	}
@@ -301,25 +323,24 @@ func (d *Dual) checkGeographic() error {
 			}
 		}
 	}
-	// Condition 1 needs all close pairs; use the region grid to avoid O(n²).
-	idx := geo.BuildRegionIndex(d.Emb)
-	for u := 0; u < n; u++ {
-		ru := idx.Of[u]
-		for di := int32(-3); di <= 3; di++ {
-			for dj := int32(-3); dj <= 3; dj++ {
-				for _, v := range idx.Members[geo.RegionID{I: ru.I + di, J: ru.J + dj}] {
-					if v <= u {
-						continue
-					}
-					if geo.Dist(d.Emb[u], d.Emb[v]) <= 1 && !d.G.HasEdge(u, v) {
-						return fmt.Errorf("dualgraph: vertices %d,%d at distance %v ≤ 1 lack a reliable edge",
-							u, v, geo.Dist(d.Emb[u], d.Emb[v]))
-					}
-				}
+	// Condition 1 needs all close pairs; the grid index bounds the scan to
+	// the unit-distance stencil around each vertex instead of O(n²).
+	gi := geo.BuildGridIndex(d.Emb)
+	stencil := geo.NeighborStencil(1)
+	var bad error
+	for u := 0; u < n && bad == nil; u++ {
+		gi.VisitNear(u, stencil, func(v32 int32) {
+			v := int(v32)
+			if bad != nil || v <= u {
+				return
 			}
-		}
+			if geo.Dist(d.Emb[u], d.Emb[v]) <= 1 && !d.G.HasEdge(u, v) {
+				bad = fmt.Errorf("dualgraph: vertices %d,%d at distance %v ≤ 1 lack a reliable edge",
+					u, v, geo.Dist(d.Emb[u], d.Emb[v]))
+			}
+		})
 	}
-	return nil
+	return bad
 }
 
 // index precomputes the unreliable edge list, per-node incidence and the

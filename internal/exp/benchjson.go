@@ -44,6 +44,9 @@ type BenchFile struct {
 	Results   []BenchResult `json:"results"`
 	GoTest    []GoBench     `json:"go_test,omitempty"`
 	Sweep     []SweepPoint  `json:"sweep,omitempty"`
+	// Construction records the topology-construction sweep run alongside
+	// -sweep (see ConstructionPoint).
+	Construction []ConstructionPoint `json:"construction,omitempty"`
 	// Comparison embeds the algorithm comparison matrix when the sweep ran
 	// with -compare (see ComparisonReport).
 	Comparison *ComparisonReport `json:"comparison,omitempty"`

@@ -452,24 +452,19 @@ func isNeighbor(neigh []int32, v int32) bool {
 
 // isolationNeighbors returns, per node, the ascending list of nodes within
 // the given distance — the SINR counterpart of reliable adjacency for the
-// reliability metric. The region-grid index keeps it O(n · density) rather
-// than all-pairs.
+// reliability metric. The dense grid index with the distance-radius stencil
+// keeps it O(n · density) rather than all-pairs.
 func isolationNeighbors(emb []geo.Point, radius float64) [][]int32 {
 	n := len(emb)
 	out := make([][]int32, n)
-	idx := geo.BuildRegionIndex(emb)
-	window := int32(math.Ceil(radius/geo.RegionSide)) + 1
+	gi := geo.BuildGridIndex(emb)
+	stencil := geo.NeighborStencil(radius)
 	for u := 0; u < n; u++ {
-		ru := idx.Of[u]
-		for di := -window; di <= window; di++ {
-			for dj := -window; dj <= window; dj++ {
-				for _, v := range idx.Members[geo.RegionID{I: ru.I + di, J: ru.J + dj}] {
-					if v != u && geo.Dist(emb[u], emb[v]) <= radius {
-						out[u] = append(out[u], int32(v))
-					}
-				}
+		gi.VisitNear(u, stencil, func(v int32) {
+			if int(v) != u && geo.Dist(emb[u], emb[int(v)]) <= radius {
+				out[u] = append(out[u], v)
 			}
-		}
+		})
 		slices.Sort(out[u])
 	}
 	return out

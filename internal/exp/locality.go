@@ -96,7 +96,7 @@ func runRegions(size Size, seed uint64) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			idx := geo.BuildRegionIndex(d.Emb)
+			idx := geo.BuildGridIndex(d.Emb)
 			g := geo.BuildRegionGraph(idx.Regions(), r)
 			if ok, _, _, _ := g.CheckFBounded(4); !ok {
 				violations++

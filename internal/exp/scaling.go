@@ -16,11 +16,14 @@ import (
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/sched"
 	"lbcast/internal/sim"
+	"lbcast/internal/sinr"
 	"lbcast/internal/stats"
 	"lbcast/internal/xrand"
 )
 
-// SweepPoint is one (n, scheduler, driver) scaling measurement.
+// SweepPoint is one (n, scheduler, driver) scaling measurement. The
+// scheduler column doubles as the physical-layer label: dual-graph rows name
+// their link scheduler, the SINR rows are labeled "sinr".
 type SweepPoint struct {
 	N            int     `json:"n"`
 	Scheduler    string  `json:"scheduler"`
@@ -30,6 +33,12 @@ type SweepPoint struct {
 	NsPerRound   int64   `json:"ns_per_round"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 }
+
+// sweepSINRTolerance is the truncation tolerance of the sweep's SINR rows:
+// decision margins beyond 0.05 (a quarter of the decode floor β·N = 0.18 at
+// the default calibration) resolve exactly as the O(n·|txs|) resolver would,
+// which is what lets the SINR physical layer ride the n = 10⁵ sweep.
+const sweepSINRTolerance = 0.05
 
 // sweepProc is the synthetic workload of the sweep: transmit by private coin
 // with a pre-boxed payload, record a hear event per reception. It exercises
@@ -67,12 +76,13 @@ func sweepRounds(n int) int {
 }
 
 // RunScalingSweep measures rounds/sec for every n × scheduler × driver
-// combination. Each n gets one random geometric graph at constant density
-// (the area grows with n, so degree bounds — and with them per-round work
-// per transmitter — stay flat while n scales), shared by all points of
-// that n. txProb is the per-node transmit probability per round (0 picks
-// the default 0.1).
-func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, error) {
+// combination, plus per-n construction points. Each n gets one random
+// geometric graph at constant density (the area grows with n, so degree
+// bounds — and with them per-round work per transmitter — stay flat while n
+// scales), shared by all points of that n; timing that single build is the
+// construction measurement, so no topology is constructed twice. txProb is
+// the per-node transmit probability per round (0 picks the default 0.1).
+func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, []ConstructionPoint, error) {
 	if txProb <= 0 {
 		txProb = 0.1
 	}
@@ -93,64 +103,133 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, error
 		{"workerpool", sim.DriverWorkerPool, runtime.GOMAXPROCS(0)},
 	}
 	var out []SweepPoint
+	var cons []ConstructionPoint
 	for _, n := range ns {
 		if n < 2 {
-			return nil, fmt.Errorf("exp: sweep n=%d too small", n)
+			return nil, nil, fmt.Errorf("exp: sweep n=%d too small", n)
 		}
 		// Constant density ≈ 4 nodes per unit square keeps Δ and Δ′ flat
 		// across the sweep.
 		side := math.Max(4, math.Sqrt(float64(n)/4))
+		start := time.Now()
 		d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+		buildNs := time.Since(start).Nanoseconds()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		start = time.Now()
+		if err := d.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("exp: sweep topology n=%d failed validation: %w", n, err)
+		}
+		cons = append(cons, ConstructionPoint{
+			N:          n,
+			BuildNs:    buildNs,
+			ValidateNs: time.Since(start).Nanoseconds(),
+			Edges:      d.Gp.EdgeCount(),
+			Unreliable: len(d.UnreliableEdges()),
+		})
 		rounds := sweepRounds(n)
+		measure := func(name, driver string, workers int, cfg sim.Config) error {
+			procs := make([]sim.Process, n)
+			for u := range procs {
+				procs[u] = &sweepProc{p: txProb}
+			}
+			cfg.Dual, cfg.Procs, cfg.Seed = d, procs, seed
+			e, err := sim.New(cfg)
+			if err != nil {
+				return err
+			}
+			e.Run(5) // warm scratch, shards, buckets and trace chunks
+			start := time.Now()
+			e.Run(rounds)
+			elapsed := time.Since(start)
+			e.Close()
+			nsPerRound := elapsed.Nanoseconds() / int64(rounds)
+			point := SweepPoint{
+				N:          n,
+				Scheduler:  name,
+				Driver:     driver,
+				Workers:    workers,
+				Rounds:     rounds,
+				NsPerRound: nsPerRound,
+			}
+			if nsPerRound > 0 {
+				point.RoundsPerSec = 1e9 / float64(nsPerRound)
+			}
+			out = append(out, point)
+			return nil
+		}
 		for _, sc := range schedulers {
 			for _, dr := range drivers {
-				procs := make([]sim.Process, n)
-				for u := range procs {
-					procs[u] = &sweepProc{p: txProb}
+				if err := measure(sc.name, dr.name, dr.workers,
+					sim.Config{Sched: sc.s, Driver: dr.d, Workers: dr.workers}); err != nil {
+					return nil, nil, err
 				}
-				e, err := sim.New(sim.Config{Dual: d, Procs: procs, Sched: sc.s,
-					Seed: seed, Driver: dr.d, Workers: dr.workers})
-				if err != nil {
-					return nil, err
-				}
-				e.Run(5) // warm scratch, shards and trace chunks
-				start := time.Now()
-				e.Run(rounds)
-				elapsed := time.Since(start)
-				e.Close()
-				nsPerRound := elapsed.Nanoseconds() / int64(rounds)
-				point := SweepPoint{
-					N:          n,
-					Scheduler:  sc.name,
-					Driver:     dr.name,
-					Workers:    dr.workers,
-					Rounds:     rounds,
-					NsPerRound: nsPerRound,
-				}
-				if nsPerRound > 0 {
-					point.RoundsPerSec = 1e9 / float64(nsPerRound)
-				}
-				out = append(out, point)
 			}
 		}
+		// SINR physical-layer row: same embedding, same workload, rounds
+		// resolved by the SINR model instead of the dual-graph scatter. At
+		// the configured tolerance the model buckets rounds with at least
+		// BucketedMinTx transmitters (n ≥ 10³ here at 10% transmit
+		// probability; smaller rounds dispatch to the exact resolver, which
+		// is already cheaper there). This is the row that was quadratic
+		// before the bucketing.
+		params := sinr.DefaultParams()
+		params.Tolerance = sweepSINRTolerance
+		model, err := sinr.NewModel(d.Emb, sinr.UniformPower(1), params)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := measure("sinr", "sequential", 0, sim.Config{Reception: model}); err != nil {
+			return nil, nil, err
+		}
 	}
-	return out, nil
+	return out, cons, nil
 }
 
 // SweepTable renders sweep points as a stats table for terminal output.
 func SweepTable(points []SweepPoint) *stats.Table {
 	tbl := &stats.Table{
-		Title:   "engine scaling sweep: rounds/sec by n × scheduler × driver",
+		Title:   "engine scaling sweep: rounds/sec by n × scheduler/physical layer × driver",
 		Columns: []string{"n", "scheduler", "driver", "rounds", "ns/round", "rounds/sec"},
 		Notes: []string{
 			"random geometric graphs at constant density (Δ, Δ′ flat across n); transmit probability 0.1",
+			fmt.Sprintf("sinr rows resolve rounds through the SINR model at tolerance %v (region-bucketed for rounds with ≥ %d transmitters, exact below)",
+				sweepSINRTolerance, sinr.BucketedMinTx),
 		},
 	}
 	for _, p := range points {
 		tbl.AddRow(p.N, p.Scheduler, p.Driver, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec))
+	}
+	return tbl
+}
+
+// ConstructionPoint is one topology-construction measurement: the
+// trusted-path build time of the sweep-geometric dual at n, and the cost of
+// the full Validate pass the trusted builders skip (the former re-validation
+// that dominated large constructions). RunScalingSweep records one per n
+// while building the topology its round measurements share.
+type ConstructionPoint struct {
+	N          int   `json:"n"`
+	BuildNs    int64 `json:"build_ns"`
+	ValidateNs int64 `json:"validate_ns"`
+	Edges      int   `json:"edges"`
+	Unreliable int   `json:"unreliable_edges"`
+}
+
+// ConstructionTable renders construction points for terminal output.
+func ConstructionTable(points []ConstructionPoint) *stats.Table {
+	tbl := &stats.Table{
+		Title:   "dual graph construction: trusted build vs skipped validation cost",
+		Columns: []string{"n", "build ms", "validate ms", "edges (G')", "unreliable"},
+		Notes: []string{
+			"build = RandomGeometric end to end (placement, grid-index pair scan, bulk graph build, trusted assembly)",
+			"validate = the full Dual.Validate pass the trusted constructor skips",
+		},
+	}
+	for _, p := range points {
+		tbl.AddRow(p.N, fmt.Sprintf("%.1f", float64(p.BuildNs)/1e6),
+			fmt.Sprintf("%.1f", float64(p.ValidateNs)/1e6), p.Edges, p.Unreliable)
 	}
 	return tbl
 }

@@ -2,4 +2,10 @@
 // paper: vertex embeddings, the fixed grid partition of the plane into
 // convex regions of diameter at most 1, and the region graph G_{R,r} whose
 // f-boundedness (Lemma A.1/A.2) underpins the seed agreement analysis.
+//
+// GridIndex is the dense/CSR spatial index over the grid partition shared
+// by dual graph construction, r-geographic validation and the SINR
+// resolver: sorted region keys, a region→members CSR layout, O(1)
+// vertex→region lookup and the precomputed NeighborStencil of regions
+// within a given distance.
 package geo

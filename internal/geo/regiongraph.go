@@ -5,6 +5,11 @@ import "math"
 // RegionIndex groups an embedding's vertices by grid region. It is the
 // concrete form of the partition R restricted to occupied regions (empty
 // regions play no role in any argument about nodes).
+//
+// Production paths use the dense GridIndex; RegionIndex is retained as the
+// straightforward map-based reference the GridIndex tests check equivalence
+// against. Keep the two behaviorally aligned (same member order, same
+// sorted Regions order).
 type RegionIndex struct {
 	// Members maps each occupied region to the vertex indices embedded in it.
 	Members map[RegionID][]int
@@ -26,12 +31,15 @@ func BuildRegionIndex(emb []Point) *RegionIndex {
 	return idx
 }
 
-// Regions returns the occupied region IDs in unspecified order.
+// Regions returns the occupied region IDs in sorted (I, J) order — the same
+// deterministic order GridIndex.Regions iterates, so downstream structures
+// (region graphs, visualisations) are reproducible across runs.
 func (idx *RegionIndex) Regions() []RegionID {
 	out := make([]RegionID, 0, len(idx.Members))
 	for id := range idx.Members {
 		out = append(out, id)
 	}
+	sortRegionIDs(out)
 	return out
 }
 

@@ -162,6 +162,7 @@ func TestParallelScatterMatchesSequentialDense(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		e.Run(60)
 		return e.Trace()
 	}

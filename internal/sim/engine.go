@@ -128,9 +128,25 @@ type Engine struct {
 	// first round that shards the scatter.
 	shards []*scatterShard
 
+	// pool is the persistent worker pool of the worker-pool driver, started
+	// lazily on the first parallel phase and stopped by Close. Both the
+	// per-node phases and the sharded scatter dispatch onto it, so the
+	// steady state spawns no goroutines at all (previously ~2 per round).
+	pool *workerPool
+
 	// txFn/rxFn are the cached per-node phase bodies handed to the worker
-	// pool, built once so parallel rounds allocate nothing.
-	txFn, rxFn func(u int)
+	// pool, built once so parallel rounds allocate nothing. poolNodeFn and
+	// poolScatterFn are the cached per-worker bodies dispatched to the pool;
+	// their per-call inputs travel through the poolTask/poolChunk/poolN and
+	// scatterChunk/scatterMode fields to keep dispatch allocation-free.
+	txFn, rxFn    func(u int)
+	poolNodeFn    func(w int)
+	poolScatterFn func(w int)
+	poolTask      func(u int)
+	poolChunk     int
+	poolN         int
+	scatterChunk  int
+	scatterMode   inclusionMode
 
 	// dirty is the set of nodes with buffered recorder events since the
 	// last drain: dirtyIdx[:dirtyLen] holds their indices in arbitrary
@@ -226,6 +242,23 @@ func New(cfg Config) (*Engine, error) {
 		e.payloads[u], e.transmit[u] = e.procs[u].Transmit(e.round)
 	}
 	e.rxFn = e.deliver
+	e.poolNodeFn = func(w int) {
+		lo := w * e.poolChunk
+		hi := min(lo+e.poolChunk, e.poolN)
+		for u := lo; u < hi; u++ {
+			e.poolTask(u)
+		}
+	}
+	e.poolScatterFn = func(w int) {
+		lo := w * e.scatterChunk
+		hi := min(lo+e.scatterChunk, len(e.txList))
+		if lo >= hi {
+			return
+		}
+		sh := e.shards[w]
+		e.scatterInto(e.round, e.scatterMode, e.txList[lo:hi],
+			sh.count, sh.from, sh.stamp, &sh.touched, sh.incBuf)
+	}
 	delta, deltaPrime := cfg.Dual.Delta(), cfg.Dual.DeltaPrime()
 	for u := 0; u < n; u++ {
 		env := &NodeEnv{
@@ -479,12 +512,13 @@ func (e *Engine) scatterInto(t int, mode inclusionMode, txs []int32,
 	}
 }
 
-// scatterParallel shards the transmitter list across the worker pool. Each
-// worker scatters its contiguous txList range into a private shard; the
-// shards are then merged into the engine's reception arrays in worker order.
-// Because shard w's transmitters all precede shard w+1's in txList order,
-// "first worker to touch u wins rxFrom, counts add" reproduces the
-// sequential left-to-right scatter exactly, so traces stay byte-identical.
+// scatterParallel shards the transmitter list across the persistent worker
+// pool. Each worker scatters its contiguous txList range into a private
+// shard; the shards are then merged into the engine's reception arrays in
+// worker order. Because shard w's transmitters all precede shard w+1's in
+// txList order, "first worker to touch u wins rxFrom, counts add" reproduces
+// the sequential left-to-right scatter exactly, so traces stay
+// byte-identical.
 func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 	workers := e.wrk
 	if workers > len(e.txList) {
@@ -492,27 +526,13 @@ func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 	}
 	e.ensureShards(workers)
 	chunk := (len(e.txList) + workers - 1) / workers
-	var wg sync.WaitGroup
-	active := 0
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(e.txList) {
-			hi = len(e.txList)
-		}
-		if lo >= hi {
-			break
-		}
-		sh := e.shards[w]
-		sh.touched = sh.touched[:0]
-		active++
-		wg.Add(1)
-		go func(sh *scatterShard, txs []int32) {
-			defer wg.Done()
-			e.scatterInto(t, mode, txs, sh.count, sh.from, sh.stamp, &sh.touched, sh.incBuf)
-		}(sh, e.txList[lo:hi])
+	active := (len(e.txList) + chunk - 1) / chunk
+	for w := 0; w < active; w++ {
+		e.shards[w].touched = e.shards[w].touched[:0]
 	}
-	wg.Wait()
+	e.scatterChunk, e.scatterMode = chunk, mode
+	e.ensurePool()
+	e.pool.run(active, e.poolScatterFn)
 
 	t32 := int32(t)
 	for w := 0; w < active; w++ {
@@ -587,7 +607,9 @@ func (e *Engine) deliver(u int) {
 	e.procs[u].Receive(t, NoTransmitter, nil, false)
 }
 
-// parallelNodes applies fn to every node index using the worker pool.
+// parallelNodes applies fn to every node index using the persistent worker
+// pool, chunking the node range exactly as the spawn-per-phase version did
+// so executions (and traces) are unchanged.
 func (e *Engine) parallelNodes(fn func(u int)) {
 	n := len(e.procs)
 	workers := e.wrk
@@ -600,26 +622,76 @@ func (e *Engine) parallelNodes(fn func(u int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				fn(u)
-			}
-		}(lo, hi)
+	active := (n + chunk - 1) / chunk
+	e.poolTask, e.poolChunk, e.poolN = fn, chunk, n
+	e.ensurePool()
+	e.pool.run(active, e.poolNodeFn)
+}
+
+// workerPool is the persistent pool owned by the worker-pool driver: one
+// goroutine per configured worker, started once and parked on a private
+// command channel between phases. run dispatches one body per active worker
+// and waits for all of them; the channel operations provide the
+// happens-before edges that make the engine's shared round state safe to
+// touch from the workers.
+type workerPool struct {
+	cmd     []chan func(w int)
+	done    chan struct{}
+	stopped sync.Once
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		cmd:  make([]chan func(w int), workers),
+		done: make(chan struct{}, workers),
 	}
-	wg.Wait()
+	for w := range p.cmd {
+		p.cmd[w] = make(chan func(w int), 1)
+		go p.loop(w)
+	}
+	return p
+}
+
+func (p *workerPool) loop(w int) {
+	for fn := range p.cmd[w] {
+		fn(w)
+		p.done <- struct{}{}
+	}
+}
+
+// run executes fn(w) on workers 0..active-1 and blocks until every one of
+// them finishes.
+func (p *workerPool) run(active int, fn func(w int)) {
+	for w := 0; w < active; w++ {
+		p.cmd[w] <- fn
+	}
+	for w := 0; w < active; w++ {
+		<-p.done
+	}
+}
+
+// stop releases the pool's goroutines. Idempotent: Close and the GC cleanup
+// below may both reach it.
+func (p *workerPool) stop() {
+	p.stopped.Do(func() {
+		for _, c := range p.cmd {
+			close(c)
+		}
+	})
+}
+
+// ensurePool lazily starts the persistent worker pool at the engine's full
+// worker count (phases activate only the prefix they need). A GC cleanup
+// stops the pool when the engine becomes unreachable, so callers written
+// against the old spawn-per-phase driver — for which Close was documented
+// as a no-op — do not leak parked workers for the process lifetime. Close
+// remains the deterministic release path.
+func (e *Engine) ensurePool() {
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.wrk)
+		runtime.AddCleanup(e, (*workerPool).stop, e.pool)
+	}
 }
 
 // startNodeGoroutines launches one goroutine per node for the
@@ -662,9 +734,15 @@ func (e *Engine) nodePhase(cmd nodeCommand) {
 	}
 }
 
-// Close releases the node goroutines of the goroutine-per-node driver.
-// It is a no-op for the other drivers and safe to call multiple times.
+// Close releases driver goroutines: the persistent worker pool of the
+// worker-pool driver and the node goroutines of the goroutine-per-node
+// driver. It is a no-op for the sequential driver and safe to call multiple
+// times.
 func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
 	if e.nodeCmd == nil {
 		return
 	}

@@ -264,8 +264,11 @@ func assemble(d *dualgraph.Dual, o options) (*Network, error) {
 	return nw, nil
 }
 
-// Close releases driver resources (node goroutines). It is a no-op for the
-// sequential and worker-pool drivers and safe to call repeatedly.
+// Close releases driver resources: the persistent worker pool of
+// DriverWorkerPool and the node goroutines of DriverGoroutinePerNode.
+// Networks using either driver must be Closed or their goroutines leak for
+// the process lifetime; for DriverSequential it is a no-op. Safe to call
+// repeatedly.
 func (nw *Network) Close() { nw.engine.Close() }
 
 // Size returns the number of nodes.
