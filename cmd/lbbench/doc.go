@@ -5,7 +5,7 @@
 //
 //	lbbench [-exp E-PROG[,E-ACK,...]] [-size small|medium|full] [-seed N] [-list]
 //	lbbench -benchjson BENCH_pr2.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
-//	lbbench -sweep [-sweepn 100,1000,10000,100000] [-compare] [-benchjson BENCH_pr2.json]
+//	lbbench -sweep [-sweepn 100,1000,10000,100000] [-sweepworkers 1,2,4] [-compare] [-benchjson BENCH_pr2.json]
 //	lbbench -baseline BENCH_pr1.json -gobench gotest.txt [-gatebench BenchmarkNetworkRound] [-gatelimit 1.20]
 //
 // With -benchjson, lbbench measures each selected experiment (ns/op,
@@ -15,7 +15,9 @@
 // same file.
 //
 // With -sweep, lbbench measures raw engine round throughput across
-// n × scheduler × driver (the large-n scaling sweep); combined with
+// n × scheduler × driver (the large-n scaling sweep); -sweepworkers adds
+// one workerpool row per listed pool size (the multi-core CI matrix passes
+// 1,2,4 to record the parallel-scatter speedup curve). Combined with
 // -benchjson the points are embedded in the JSON's "sweep" section,
 // otherwise the table is printed. -compare (alone or alongside -sweep)
 // runs the algorithm comparison matrix — LBAlg vs the SINR local broadcast

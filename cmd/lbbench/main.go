@@ -25,11 +25,13 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "run the engine scaling sweep (n × scheduler × driver)")
 		sweepN    = flag.String("sweepn", "100,1000,10000,100000", "comma-separated network sizes for -sweep")
 		sweepP    = flag.Float64("sweepp", 0.1, "per-node transmit probability for -sweep")
+		sweepW    = flag.String("sweepworkers", "", "comma-separated worker-pool sizes for -sweep's workerpool rows (default: GOMAXPROCS); the multi-core CI matrix passes 1,2,4 to record the parallel-scatter speedup curve")
 		compare   = flag.Bool("compare", false, "run the algorithm comparison matrix (LBAlg vs SINR layer vs contention baselines) at -size; renders the table, or embeds it in -benchjson")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -gobench measurements against")
 		gateBench = flag.String("gatebench", "BenchmarkNetworkRound", "comma-separated benchmark names for the -baseline gate")
 		gateLimit = flag.Float64("gatelimit", 1.20, "fail the -baseline gate when current/baseline ns/op exceeds this ratio")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	if *listFlag {
@@ -57,12 +59,19 @@ func main() {
 	var consPoints []exp.ConstructionPoint
 	var compareRep *exp.ComparisonReport
 	if *sweep {
-		ns, err := parseSweepNs(*sweepN)
+		ns, err := parseIntList(*sweepN, "-sweepn")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		sweepPoints, consPoints, err = exp.RunScalingSweep(ns, *seedFlag, *sweepP)
+		var workers []int
+		if *sweepW != "" {
+			if workers, err = parseIntList(*sweepW, "-sweepworkers"); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		sweepPoints, consPoints, err = exp.RunScalingSweep(ns, *seedFlag, *sweepP, workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -151,18 +160,44 @@ func main() {
 	}
 }
 
-// parseSweepNs parses the -sweepn list.
-func parseSweepNs(s string) ([]int, error) {
+// usage renders the synopsis of every operating mode ahead of the flag
+// list, so `lbbench -help` documents how -sweep, -compare, -benchjson and
+// the -baseline regression gate combine.
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `lbbench reproduces the paper's quantitative claims and tracks engine
+performance across PRs.
+
+Modes:
+  lbbench [-exp E-PROG,...] [-size small|medium|full] [-seed N]
+      render the experiment tables (default: all experiments)
+  lbbench -list
+      list experiment IDs
+  lbbench -benchjson BENCH_x.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
+      measure experiments into a machine-readable BENCH_*.json
+  lbbench -sweep [-sweepn 100,1000] [-sweepworkers 1,2,4] [-compare] [-benchjson ...]
+      engine scaling sweep (n × scheduler × driver rounds/sec); -compare adds
+      the LBAlg vs SINR-layer vs contention-baseline matrix (E-COMPARE)
+  lbbench -baseline BENCH_x.json -gobench gotest.txt [-gatebench A,B] [-gatelimit 1.20]
+      CI regression gate: fail when a named benchmark's ns/op exceeds
+      gatelimit × the committed baseline
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+// parseIntList parses a comma-separated integer list flag.
+func parseIntList(s, flagName string) ([]int, error) {
 	var ns []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("bad -sweepn entry %q: %w", f, err)
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, f, err)
 		}
 		ns = append(ns, n)
 	}
 	if len(ns) == 0 {
-		return nil, fmt.Errorf("-sweepn is empty")
+		return nil, fmt.Errorf("%s is empty", flagName)
 	}
 	return ns, nil
 }

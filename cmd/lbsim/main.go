@@ -133,11 +133,12 @@ func run(topo string, n int, r, eps float64, schedName string, schedP float64, p
 	if senders > d.N() {
 		senders = d.N()
 	}
+	plan := core.NewPhasePlan(p)
 	procs := make([]*core.LBAlg, d.N())
 	simProcs := make([]sim.Process, d.N())
 	svcs := make([]core.Service, d.N())
 	for u := 0; u < d.N(); u++ {
-		procs[u] = core.NewLBAlg(p)
+		procs[u] = core.NewLBAlgWithPlan(plan)
 		simProcs[u] = procs[u]
 		svcs[u] = procs[u]
 	}

@@ -7,6 +7,7 @@ import (
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/sched"
+	"lbcast/internal/seedagree"
 	"lbcast/internal/sim"
 	"lbcast/internal/xrand"
 )
@@ -254,5 +255,20 @@ func TestDecayUnderAntiDecayScheduler(t *testing.T) {
 	}
 	if hostile <= benign {
 		t.Errorf("anti-Decay did not hurt Decay: benign %d vs hostile %d total rounds", benign, hostile)
+	}
+}
+
+// TestDecayProbTableMatchesFormula pins the precomputed probability cycle
+// to the 2^{−(1+(t−1) mod log Δ)} schedule it caches.
+func TestDecayProbTableMatchesFormula(t *testing.T) {
+	for _, delta := range []int{1, 2, 5, 32, 100} {
+		d := NewDecay(DecayParams{Delta: delta, AckRounds: 4})
+		cycle := seedagree.Log2Ceil(delta)
+		for tr := 1; tr <= 3*cycle+1; tr++ {
+			want := math.Pow(2, -float64(1+(tr-1)%cycle))
+			if got := d.Prob(tr); got != want {
+				t.Fatalf("Δ=%d round %d: Prob = %v, want %v", delta, tr, got, want)
+			}
+		}
 	}
 }

@@ -94,8 +94,11 @@ func ContentionAckRounds(deltaPrime int, eps float64) int {
 // shared core.AckWindow bookkeeping under a Δ′-keyed transmit probability.
 type Contention struct {
 	core.AckWindow
-	p        ContentionParams
-	cycleLen int
+	p ContentionParams
+	// cycle is the precomputed per-round probability schedule: the Δ′-keyed
+	// Decay cycle for StrategyCycling, a single 1/Δ′ entry for
+	// StrategyUniform (so Prob is one table lookup either way).
+	cycle probCycle
 }
 
 var _ core.Service = (*Contention)(nil)
@@ -111,7 +114,12 @@ func NewContention(p ContentionParams) *Contention {
 	if p.AckRounds < 1 {
 		p.AckRounds = ContentionAckRounds(p.DeltaPrime, p.Eps)
 	}
-	c := &Contention{p: p, cycleLen: seedagree.Log2Ceil(p.DeltaPrime)}
+	c := &Contention{p: p}
+	if p.Strategy == StrategyCycling {
+		c.cycle = newDecayCycle(seedagree.Log2Ceil(p.DeltaPrime))
+	} else {
+		c.cycle = probCycle{1 / float64(p.DeltaPrime)}
+	}
 	c.AckRounds = p.AckRounds
 	c.RecordHears = true
 	return c
@@ -119,13 +127,7 @@ func NewContention(p ContentionParams) *Contention {
 
 // Prob returns the transmit probability at global round t: 1/Δ′ for the
 // uniform strategy, 2^{−(1 + (t−1) mod ⌈log Δ′⌉)} for the cycling one.
-func (c *Contention) Prob(t int) float64 {
-	if c.p.Strategy == StrategyCycling {
-		pos := (t - 1) % c.cycleLen
-		return math.Pow(2, -float64(1+pos))
-	}
-	return 1 / float64(c.p.DeltaPrime)
-}
+func (c *Contention) Prob(t int) float64 { return c.cycle.at(t) }
 
 // Transmit implements sim.Process.
 func (c *Contention) Transmit(t int) (any, bool) {

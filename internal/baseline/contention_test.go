@@ -6,6 +6,7 @@ import (
 
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
+	"lbcast/internal/seedagree"
 	"lbcast/internal/sim"
 	"lbcast/internal/xrand"
 )
@@ -109,3 +110,21 @@ func TestContentionRejectsDoubleBcast(t *testing.T) {
 type discardRec struct{}
 
 func (discardRec) Record(sim.Event) {}
+
+// TestContentionProbTableMatchesFormula pins both strategies' precomputed
+// probability cycles to the formulas they cache.
+func TestContentionProbTableMatchesFormula(t *testing.T) {
+	for _, dp := range []int{2, 3, 16, 70} {
+		uni := NewContention(ContentionParams{DeltaPrime: dp, Strategy: StrategyUniform})
+		cyc := NewContention(ContentionParams{DeltaPrime: dp, Strategy: StrategyCycling})
+		cycle := seedagree.Log2Ceil(dp)
+		for tr := 1; tr <= 3*cycle+1; tr++ {
+			if got, want := uni.Prob(tr), 1/float64(dp); got != want {
+				t.Fatalf("Δ′=%d round %d: uniform Prob = %v, want %v", dp, tr, got, want)
+			}
+			if got, want := cyc.Prob(tr), math.Pow(2, -float64(1+(tr-1)%cycle)); got != want {
+				t.Fatalf("Δ′=%d round %d: cycling Prob = %v, want %v", dp, tr, got, want)
+			}
+		}
+	}
+}

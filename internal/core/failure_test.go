@@ -17,10 +17,11 @@ func TestSeedExhaustionFailsClosed(t *testing.T) {
 	l.Init(&sim.NodeEnv{ID: 0, Delta: 8, DeltaPrime: 8, R: 1, Rng: xrand.New(1), Rec: nopRec{}})
 	l.state = StateSending
 	l.pending = &Message{ID: sim.NewMsgID(0, 1)}
-	// A seed far too short for even one round's K1 bits.
-	l.committed = xrand.NewBitString(xrand.New(2), 1)
+	// A seed far too short for even one round's K1 bits: every decoded
+	// round fails closed.
+	commitDirect(l, xrand.NewBitString(xrand.New(2), 1))
 	for i := 0; i < 20; i++ {
-		if _, sent := l.bodyRound(); sent {
+		if _, sent := l.bodyRound(i % p.Tprog); sent {
 			t.Fatal("transmitted with an exhausted seed")
 		}
 	}
@@ -34,7 +35,7 @@ func TestNilCommitFailsClosed(t *testing.T) {
 	l.Init(&sim.NodeEnv{ID: 0, Delta: 8, DeltaPrime: 8, R: 1, Rng: xrand.New(1), Rec: nopRec{}})
 	l.state = StateSending
 	l.pending = &Message{ID: sim.NewMsgID(0, 1)}
-	if _, sent := l.bodyRound(); sent {
+	if _, sent := l.bodyRound(0); sent {
 		t.Fatal("transmitted without a committed seed")
 	}
 }

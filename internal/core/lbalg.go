@@ -64,12 +64,47 @@ type Service interface {
 // OnAck/OnRecv callbacks, mirroring the bcast/ack/recv interface of the
 // LB(t_ack, t_prog, ε) problem.
 type LBAlg struct {
-	p   Params
+	// The leading fields are the per-round hot set, ordered so the
+	// receiver-path loads in Transmit/Receive (position memo, phase
+	// boundaries, state, coin scratch header) share the node's first cache
+	// lines; the wide Params value and the callback/bookkeeping tail live
+	// behind them.
+
+	// memoT/memoPhase/memoPos track the current round's phase coordinates
+	// incrementally: rounds arrive in order, so the common case is a +1 step
+	// (or a repeat from Receive after Transmit) instead of a div/mod.
+	// curPreLen is the memoised phase's preamble cut taken from its slot
+	// table (positions below it are RoundPreamble slots, positions at or
+	// above are RoundBody slots with Body = pos − curPreLen), refreshed
+	// whenever the phase advances; phaseLen mirrors plan.phaseLen.
+	memoT, memoPhase, memoPos int
+	curPreLen                 int
+	phaseLen                  int
+
+	state   State
+	pending *Message // accepted bcast input not yet acknowledged
+	// seedIdle caches seed.Idle(): once the preamble state machine has
+	// decided and is not advertising, its Transmit/Receive are no-ops (no
+	// private coin draws), so the calls are skipped for the rest of the
+	// preamble.
+	seedIdle bool
+	// coins is the per-phase scratch of shared coins decoded from committed
+	// (see PhasePlan.decodeCoins); body rounds read it instead of consuming
+	// from the seed. Only sending nodes decode — a receiver's body round
+	// never reads the values — so coinsBehind counts the body rounds a
+	// receiving node owes its cursor before it may decode again (relevant
+	// only when one commitment spans a SeedEveryKPhases > 1 cycle; with
+	// k = 1 the cursor rewinds at every commit and the debt is simply
+	// dropped).
+	coins       phaseCoins
+	coinsBehind int
+
 	env *sim.NodeEnv
 
-	// phaseLen caches p.PhaseLen() for the once-per-round phase arithmetic
-	// (Params methods copy the whole struct per call).
-	phaseLen int
+	// plan is the precomputed phase schedule (shared across nodes when
+	// constructed with NewLBAlgWithPlan): per-position slot tables plus the
+	// seed agreement schedule.
+	plan *PhasePlan
 
 	seed      *seedagree.Alg
 	committed *xrand.BitString // this phase's committed seed (private copy)
@@ -77,11 +112,11 @@ type LBAlg struct {
 	// overwrites it in place each phase instead of cloning.
 	committedBuf *xrand.BitString
 
-	state          State
-	pending        *Message // accepted bcast input not yet acknowledged
-	frame          any      // pending's on-air DataMsg, boxed once at Bcast
-	sendingStarted bool     // pending has entered its sending phases
-	phasesLeft     int      // full sending phases remaining for pending
+	frame          any  // pending's on-air DataMsg, boxed once at Bcast
+	sendingStarted bool // pending has entered its sending phases
+	phasesLeft     int  // full sending phases remaining for pending
+
+	p Params
 
 	seen map[sim.MsgID]struct{}
 	seq  int
@@ -111,16 +146,27 @@ func (l *LBAlg) SetOnAck(fn func(Message)) { l.OnAck = fn }
 // SetOnRecv implements Service.
 func (l *LBAlg) SetOnRecv(fn func(Message, int)) { l.OnRecv = fn }
 
-// NewLBAlg creates the process with the given derived parameters.
+// NewLBAlg creates the process with the given derived parameters, deriving
+// a private PhasePlan. Callers building one process per node should compute
+// the plan once with NewPhasePlan and share it via NewLBAlgWithPlan.
 func NewLBAlg(p Params) *LBAlg {
-	return &LBAlg{p: p, phaseLen: p.PhaseLen(), state: StateReceiving,
+	return NewLBAlgWithPlan(NewPhasePlan(p))
+}
+
+// NewLBAlgWithPlan creates the process over a shared precomputed phase
+// schedule, which carries the Params it was derived from. The plan is
+// read-only to the process, so any number of nodes may share one.
+func NewLBAlgWithPlan(plan *PhasePlan) *LBAlg {
+	return &LBAlg{p: plan.params, plan: plan, state: StateReceiving,
+		memoPhase: 1, memoPos: -1,
+		curPreLen: plan.preambleLen(1), phaseLen: plan.phaseLen,
 		seen: make(map[sim.MsgID]struct{}), RecordHears: true}
 }
 
 // Init implements sim.Process.
 func (l *LBAlg) Init(env *sim.NodeEnv) {
 	l.env = env
-	l.seed = seedagree.NewAlg(l.p.SeedParams, env.ID, env.Rng)
+	l.seed = seedagree.NewAlgWithPlan(l.plan.Seed, env.ID, env.Rng)
 }
 
 // Params returns the node's schedule parameters.
@@ -160,77 +206,143 @@ func (l *LBAlg) Bcast(payload any) (sim.MsgID, error) {
 	return m.ID, nil
 }
 
-// phaseOf is Params.PhaseOf over the cached phase length.
-func (l *LBAlg) phaseOf(t int) (phase, pos int) {
-	return (t-1)/l.phaseLen + 1, (t - 1) % l.phaseLen
+// phasePos resolves round t to its (phase, pos) coordinates through the
+// incremental cursor: a repeat of the memoised round (Receive after
+// Transmit) is free, the sequential +1 step is an increment-and-wrap, and
+// only an out-of-order t pays the plan's div/mod.
+// advanceRound is the position cursor's slow path, shared by Transmit and
+// Receive (which hand-inline the memo repeat and the mid-phase +1 step —
+// they are interface-called, so helper calls on the per-round path are pure
+// overhead): cross into the next phase for the sequential next round, or
+// re-derive the coordinates from the plan for an out-of-order t; either way
+// the per-phase slot-table cache (curPreLen) is refreshed.
+func (l *LBAlg) advanceRound(t int) int {
+	if t == l.memoT+1 {
+		l.memoPos++
+		if l.memoPos == l.phaseLen {
+			l.memoPos = 0
+			l.memoPhase++
+			l.curPreLen = l.plan.preambleLen(l.memoPhase)
+		}
+	} else {
+		l.memoPhase, l.memoPos = l.plan.PhaseOf(t)
+		l.curPreLen = l.plan.preambleLen(l.memoPhase)
+	}
+	l.memoT = t
+	return l.memoPos
 }
 
-// Transmit implements sim.Process.
+// Transmit implements sim.Process: resolve the round's slot in the phase
+// plan and dispatch to the preamble state machine or the decoded body
+// coins.
 func (l *LBAlg) Transmit(t int) (any, bool) {
-	phase, pos := l.phaseOf(t)
+	// Resolve the round position: the sequential +1 step inline, phase
+	// crossings and out-of-order rounds through advanceRound.
+	pos := l.memoPos + 1
+	if t != l.memoT+1 || pos == l.phaseLen {
+		pos = l.advanceRound(t)
+	} else {
+		l.memoT, l.memoPos = t, pos
+	}
 
 	if pos == 0 {
-		l.beginPhase(phase)
+		l.beginPhase(l.memoPhase)
 	}
 
-	if pos < l.p.Ts {
-		if l.runsPreamble(phase) {
-			return l.seed.Transmit(pos + 1)
+	if pos < l.curPreLen { // a RoundPreamble slot of this phase's table
+		if l.seedIdle {
+			return nil, false // decided, not advertising: a no-op round
 		}
-		// Section 4.2 variant: skipped preamble slots become body rounds.
-		return l.bodyRound()
+		payload, tx := l.seed.Transmit(pos + 1)
+		l.seedIdle = l.seed.Idle()
+		return payload, tx
 	}
-	return l.bodyRound()
+	// A RoundBody slot, with the table's scratch index pos − curPreLen
+	// (under the Section 4.2 variant, skipped preamble slots are body
+	// slots too — curPreLen is 0 there). This is bodyRound, hand-inlined.
+	if !l.coins.valid || l.state != StateSending || l.pending == nil {
+		return nil, false
+	}
+	j := pos - l.curPreLen
+	if j >= len(l.coins.b) {
+		return nil, false // out-of-order jump past the decoded span; fail closed
+	}
+	b := l.coins.b[j]
+	if b == 0 {
+		return nil, false // non-participant round for this owner group
+	}
+	return l.participate(int(b))
 }
 
 // beginPhase performs start-of-phase bookkeeping: pending broadcasts enter
-// the sending state and the preamble state machine restarts.
+// the sending state, the preamble state machine restarts, and
+// skipped-preamble phases (Section 4.2 variant) decode their body coins
+// from the persisting commitment.
 func (l *LBAlg) beginPhase(phase int) {
 	if l.pending != nil && !l.sendingStarted {
 		l.sendingStarted = true
 		l.state = StateSending
 		l.phasesLeft = l.p.Tack
 	}
-	if l.runsPreamble(phase) {
+	if l.plan.RunsPreamble(phase) {
 		l.seed.Reset()
+		l.seedIdle = false
 		l.committed = nil
+		l.coins.invalidate()
+		l.coinsBehind = 0
+	} else if l.committed != nil {
+		// The whole phase is body rounds on the previous commitment. A
+		// sending node settles any cursor debt from receiver phases, then
+		// decodes this phase's coins from where the cursor left off; a
+		// receiver just grows the debt (its body rounds never read the
+		// values).
+		rounds := l.plan.BodyRounds(phase)
+		if l.state == StateSending {
+			if l.coinsBehind > 0 {
+				l.plan.skipCoins(l.committed, &l.coins, l.coinsBehind)
+				l.coinsBehind = 0
+			}
+			l.plan.decodeCoins(l.committed, &l.coins, rounds)
+		} else {
+			l.coins.invalidate()
+			l.coinsBehind += rounds
+		}
 	}
 }
 
-// runsPreamble reports whether seed agreement runs in the given phase
-// (always true for the paper's algorithm; every k-th phase under the
-// Section 4.2 ablation).
-func (l *LBAlg) runsPreamble(phase int) bool {
-	return (phase-1)%l.p.SeedEveryKPhases == 0
-}
-
-// bodyRound implements one body round. Every node holding a committed seed
-// consumes the round's shared bits — even pure receivers — so that all
-// holders of one owner's seed keep their cursors aligned no matter when
-// they enter the sending state. Senders then apply the three-step logic of
-// Section 4.2: group participation coin (K1 shared bits, participate iff
-// all zero), shared probability selection b ∈ [log Δ] (K2 shared bits), and
-// a private broadcast coin with probability 2^{−b}.
-func (l *LBAlg) bodyRound() (any, bool) {
-	if l.committed == nil {
+// bodyRound implements the j-th body round of the current phase (Transmit
+// hand-inlines this logic; the method remains the whitebox unit under
+// test). The three-step logic of Section 4.2 — group participation coin
+// (K1 shared bits, participate iff all zero) and shared probability
+// selection b ∈ [log Δ] (K2 shared bits) — was resolved for the whole
+// phase by decodeCoins when the seed was committed, identically for every
+// holder of the owner's seed (which is what kept per-round cursors aligned
+// in the incremental version). What remains per round is the scratch
+// lookup and, for sending participants, the private broadcast coin with
+// probability 2^{−b}.
+func (l *LBAlg) bodyRound(j int) (any, bool) {
+	// The condition is the incremental implementation's, reordered (it
+	// gates the same participations count and the same private coin
+	// draws): a committed scratch, a participant round, and the sending
+	// state.
+	if !l.coins.valid || l.state != StateSending || l.pending == nil {
 		return nil, false
 	}
-	v, ok := l.committed.Consume(l.p.K1)
-	if !ok {
-		return nil, false // κ sizing makes this unreachable; fail closed
+	if j >= len(l.coins.b) {
+		return nil, false // beyond the decoded span; fail closed
 	}
-	if v != 0 {
+	b := l.coins.b[j]
+	if b == 0 {
 		return nil, false // non-participant round for this owner group
 	}
-	bv, ok := l.committed.Consume(l.p.K2)
-	if !ok {
-		return nil, false
-	}
-	if l.state != StateSending || l.pending == nil {
-		return nil, false
-	}
+	return l.participate(int(b))
+}
+
+// participate is the (rare, ≈2^{−K1}) participant tail of a sending body
+// round, split out so bodyRound's common path inlines: draw the private
+// broadcast coin with probability 2^{−b}.
+func (l *LBAlg) participate(b int) (any, bool) {
 	l.participations++
-	b := 1 + int(bv)%l.p.LogDelta
 	if l.env.Rng.Bits(b) != 0 {
 		return nil, false
 	}
@@ -240,11 +352,19 @@ func (l *LBAlg) bodyRound() (any, bool) {
 
 // Receive implements sim.Process.
 func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
-	phase, pos := l.phaseOf(t)
+	// The engine calls Receive for the round Transmit just memoised, so
+	// the repeat hit is inline and anything else re-derives.
+	pos := l.memoPos
+	if t != l.memoT {
+		pos = l.advanceRound(t)
+	}
 
-	if pos < l.p.Ts && l.runsPreamble(phase) {
-		l.seed.Receive(pos+1, payload, ok)
-		if pos == l.p.Ts-1 {
+	if pos < l.curPreLen { // a RoundPreamble slot of this phase's table
+		if !l.seedIdle {
+			l.seed.Receive(pos+1, payload, ok)
+			l.seedIdle = l.seed.Idle()
+		}
+		if pos == l.curPreLen-1 {
 			l.commitSeed()
 		}
 		return
@@ -267,10 +387,12 @@ func (l *LBAlg) Receive(t, from int, payload any, ok bool) {
 }
 
 // commitSeed adopts this phase's seed agreement decision. Each node copies
-// the committed bit string into its own reusable buffer so cursors advance
-// independently while contents stay identical within an owner group; the
-// copy must happen here, before any owner refills its seed for the next
-// preamble.
+// the committed bit string into its own reusable buffer so contents stay
+// identical within an owner group while consumption advances independently;
+// the copy must happen here, before any owner refills its seed for the next
+// preamble. The phase's remaining body rounds (Tprog of them) have their
+// coins decoded immediately — same bits, same order as the incremental
+// per-round consumption.
 func (l *LBAlg) commitSeed() {
 	l.seed.Finalize() // defensive; Receive at Ts already finalizes
 	d := l.seed.Decision()
@@ -281,6 +403,16 @@ func (l *LBAlg) commitSeed() {
 	}
 	l.committedBuf.Reset()
 	l.committed = l.committedBuf
+	l.coinsBehind = 0
+	if l.state == StateSending {
+		l.plan.decodeCoins(l.committed, &l.coins, l.plan.tprog)
+	} else {
+		// Receivers never read the decoded values; leave the scratch
+		// invalid and record the debt in case this commitment spans a
+		// k > 1 cycle and the node starts sending in a later phase.
+		l.coins.invalidate()
+		l.coinsBehind = l.plan.tprog
+	}
 }
 
 // deliver records the channel-level reception and generates the recv(m)_u

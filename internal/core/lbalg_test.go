@@ -42,6 +42,14 @@ func testParams(t testing.TB, delta, deltaPrime int, eps float64) Params {
 	return p
 }
 
+// commitDirect installs a committed seed bypassing the preamble (the
+// whitebox tests' stand-in for commitSeed) and decodes one phase of body
+// coins from it, exactly as commitSeed does.
+func commitDirect(l *LBAlg, seed *xrand.BitString) {
+	l.committed = seed
+	l.plan.decodeCoins(seed, &l.coins, l.plan.tprog)
+}
+
 func TestSingletonAckWithinBound(t *testing.T) {
 	d, err := dualgraph.Abstract(1, nil, nil)
 	if err != nil {
@@ -198,27 +206,44 @@ func TestOwnerGroupLockstep(t *testing.T) {
 		l.state = StateSending
 		c := shared.Clone()
 		c.Reset()
-		l.committed = c
+		commitDirect(l, c)
 		return l
 	}
 	a, b := mk(1, 100), mk(2, 200)
+	// Identical seed content must decode to an identical coin scratch and
+	// consume identical bit counts — the structural form of the per-round
+	// cursor lockstep the incremental implementation maintained.
+	if len(a.coins.b) != p.Tprog || len(b.coins.b) != p.Tprog {
+		t.Fatalf("decoded %d and %d body rounds, want Tprog=%d", len(a.coins.b), len(b.coins.b), p.Tprog)
+	}
+	participants := 0
+	for j := range a.coins.b {
+		if a.coins.b[j] != b.coins.b[j] {
+			t.Fatalf("round %d: group members decoded b=%d vs b=%d", j, a.coins.b[j], b.coins.b[j])
+		}
+		if a.coins.b[j] != 0 {
+			participants++
+		}
+	}
+	if a.committed.Remaining() != b.committed.Remaining() {
+		t.Fatalf("group members consumed different totals: %d vs %d bits remain",
+			a.committed.Remaining(), b.committed.Remaining())
+	}
+	consumed := p.Kappa - a.committed.Remaining()
+	if want := p.Tprog*p.K1 + participants*p.K2; consumed != want {
+		t.Fatalf("phase decode consumed %d bits, want Tprog·K1 + participants·K2 = %d", consumed, want)
+	}
 	for round := 0; round < p.Tprog; round++ {
-		beforeA, beforeB := a.committed.Remaining(), b.committed.Remaining()
-		a.bodyRound()
-		b.bodyRound()
-		consumedA := beforeA - a.committed.Remaining()
-		consumedB := beforeB - b.committed.Remaining()
-		if consumedA != consumedB {
-			t.Fatalf("round %d: group members consumed %d vs %d bits", round, consumedA, consumedB)
-		}
-		if consumedA != p.K1 && consumedA != p.K1+p.K2 {
-			t.Fatalf("round %d: consumed %d bits, want K1 or K1+K2", round, consumedA)
-		}
+		a.bodyRound(round)
+		b.bodyRound(round)
 	}
 	pa, _ := a.BodyStats()
 	pb, _ := b.BodyStats()
 	if pa != pb {
 		t.Errorf("group members participated %d vs %d times", pa, pb)
+	}
+	if pa != participants {
+		t.Errorf("participations %d disagree with decoded participant rounds %d", pa, participants)
 	}
 	if pa == 0 {
 		t.Error("group never participated across a full phase body (probability ≈ (1−2^{-K1})^Tprog, should be negligible)")
@@ -238,17 +263,14 @@ func TestDifferentGroupsDiverge(t *testing.T) {
 		l.Init(&sim.NodeEnv{ID: id, Delta: 8, DeltaPrime: 8, R: 1, Rng: xrand.New(uint64(id)), Rec: nopRec{}})
 		l.pending = &Message{ID: sim.NewMsgID(id, 1)}
 		l.state = StateSending
-		l.committed = seed
+		commitDirect(l, seed)
 		return l
 	}
 	a := mk(1, xrand.NewBitString(r, p.Kappa))
 	b := mk(2, xrand.NewBitString(r, p.Kappa))
 	same := true
 	for round := 0; round < p.Tprog; round++ {
-		ba, bb := a.committed.Remaining(), b.committed.Remaining()
-		a.bodyRound()
-		b.bodyRound()
-		if ba-a.committed.Remaining() != bb-b.committed.Remaining() {
+		if a.coins.b[round] != b.coins.b[round] {
 			same = false
 			break
 		}
@@ -394,9 +416,9 @@ func TestBodyStatsAccounting(t *testing.T) {
 		t.Error("fresh node has nonzero stats")
 	}
 	// Not sending: body rounds must not count participations.
-	l.committed = xrand.NewBitString(xrand.New(2), p.Kappa)
+	commitDirect(l, xrand.NewBitString(xrand.New(2), p.Kappa))
 	for i := 0; i < 50; i++ {
-		if _, sent := l.bodyRound(); sent {
+		if _, sent := l.bodyRound(i % p.Tprog); sent {
 			t.Fatal("receiver transmitted")
 		}
 	}

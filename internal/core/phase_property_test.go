@@ -133,10 +133,10 @@ func TestParticipationRateMatchesFormula(t *testing.T) {
 	participations := 0
 	src := xrand.New(9)
 	for ph := 0; ph < phases; ph++ {
-		l.committed = xrand.NewBitString(src, p.Kappa)
+		commitDirect(l, xrand.NewBitString(src, p.Kappa))
 		before, _ := l.BodyStats()
 		for j := 0; j < p.Tprog; j++ {
-			l.bodyRound()
+			l.bodyRound(j)
 		}
 		after, _ := l.BodyStats()
 		participations += after - before

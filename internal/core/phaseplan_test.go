@@ -1,0 +1,424 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lbcast/internal/seedagree"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// randomizedParams derives a valid Params from quick-generated raw values,
+// spanning degenerate degree bounds, both preamble cadences
+// (SeedEveryKPhases ∈ 1..4), and the ε range.
+func randomizedParams(t testing.TB, rawDelta, rawSlack, rawEps, rawK uint8) Params {
+	t.Helper()
+	delta := 1 + int(rawDelta)%64
+	deltaPrime := delta + int(rawSlack)%64
+	eps := 0.05 + 0.45*float64(rawEps)/255
+	k := 1 + int(rawK)%4
+	p, err := DeriveParams(delta, deltaPrime, 1+float64(rawSlack%3)/2, eps,
+		WithSeedEveryKPhases(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPhasePlanMatchesIncrementalArithmetic pins the plan's tables to the
+// incremental per-round logic they replaced: Params.PhaseOf for the
+// coordinates, the (phase−1) mod k rule for the preamble cadence, and the
+// pos < Ts cut for the slot kinds and scratch indices.
+func TestPhasePlanMatchesIncrementalArithmetic(t *testing.T) {
+	f := func(rawDelta, rawSlack, rawEps, rawK uint8, rawT uint32) bool {
+		p := randomizedParams(t, rawDelta, rawSlack, rawEps, rawK)
+		pl := NewPhasePlan(p)
+		if pl.PhaseLen() != p.PhaseLen() {
+			return false
+		}
+		tr := 1 + int(rawT)%(20*p.PhaseLen())
+		phase, pos := pl.PhaseOf(tr)
+		wantPhase, wantPos := p.PhaseOf(tr)
+		if phase != wantPhase || pos != wantPos {
+			return false
+		}
+		for ph := phase; ph <= phase+2*p.SeedEveryKPhases; ph++ {
+			wantPre := (ph-1)%p.SeedEveryKPhases == 0
+			if pl.RunsPreamble(ph) != wantPre {
+				return false
+			}
+			slots := pl.Slots(ph)
+			if len(slots) != p.PhaseLen() {
+				return false
+			}
+			preLen, body := 0, 0
+			for i, s := range slots {
+				if wantPre && i < p.Ts {
+					if s.Kind != RoundPreamble || s.Body != -1 || s.CoinBudget != 0 {
+						return false
+					}
+					if i == preLen {
+						preLen++
+					}
+				} else {
+					if s.Kind != RoundBody || int(s.CoinBudget) != p.K1+p.K2 {
+						return false
+					}
+					if int(s.Body) != body {
+						return false
+					}
+					body++
+				}
+			}
+			if pl.preambleLen(ph) != preLen || pl.BodyRounds(ph) != body {
+				return false
+			}
+			if pl.CoinBudget(ph) != body*(p.K1+p.K2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refDecodeCoin replays the incremental bodyRound consumption the plan
+// batched away: K1 participation bits, then K2 selection bits only on
+// all-zero participation coins, each field all-or-nothing against the
+// remaining seed.
+func refDecodeCoin(seed *xrand.BitString, k1, k2, logDelta int) uint8 {
+	v, ok := seed.Consume(k1)
+	if !ok || v != 0 {
+		return 0
+	}
+	bv, ok := seed.Consume(k2)
+	if !ok {
+		return 0
+	}
+	return uint8(1 + int(bv)%logDelta)
+}
+
+// TestDecodeCoinsMatchesIncrementalConsume: decodeCoins must produce the
+// byte sequence of per-round refDecodeCoin walks and leave the cursor
+// exactly where the incremental walk would — including across word
+// boundaries and on seeds too short for their schedule (exhaustion fails
+// closed per field). skipCoins must advance the cursor identically while
+// materialising nothing.
+func TestDecodeCoinsMatchesIncrementalConsume(t *testing.T) {
+	seedSrc := xrand.New(77)
+	f := func(rawK1, rawK2, rawLD, rawRounds uint8, rawBits uint16, seed uint64) bool {
+		k1 := int(rawK1) % 13
+		k2 := int(rawK2) % 13
+		logDelta := 1 + int(rawLD)%64
+		rounds := int(rawRounds) % 50
+		bits := int(rawBits) % 1200 // often shorter than rounds·(k1+k2)
+
+		sp, err := seedagree.NewParams(0.25, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Eps1: 0.2, Eps2: 0.1, R: 1, Delta: 4, DeltaPrime: 4,
+			LogDelta: logDelta, SeedParams: sp, Ts: sp.Rounds(), Tprog: rounds,
+			Tack: 1, Kappa: bits, K1: k1, K2: k2, SeedEveryKPhases: 1}
+		pl := NewPhasePlan(p)
+
+		ref := xrand.NewBitString(xrand.New(seed^seedSrc.Uint64()), bits)
+		got := ref.Clone()
+		skp := ref.Clone()
+
+		var c phaseCoins
+		pl.decodeCoins(got, &c, rounds)
+		if len(c.b) != rounds || !c.valid {
+			return false
+		}
+		for j := 0; j < rounds; j++ {
+			if c.b[j] != refDecodeCoin(ref, k1, k2, logDelta) {
+				return false
+			}
+		}
+		if got.Remaining() != ref.Remaining() {
+			return false
+		}
+		var cs phaseCoins
+		pl.skipCoins(skp, &cs, rounds)
+		return skp.Remaining() == ref.Remaining()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refLB is the pre-plan LBAlg: the incremental per-round implementation
+// (div/mod phase arithmetic, per-round BitString.Consume) ported verbatim
+// as the equivalence oracle. It mirrors the transmit-side state machine,
+// ack timing and recv outputs; TestPlanEquivalence drives it in lockstep
+// with the table-driven LBAlg over identical randomness and asserts
+// identical behavior.
+type refLB struct {
+	p        Params
+	phaseLen int
+	id       int
+	rng      *xrand.Source
+
+	seed         *seedagree.Alg
+	committed    *xrand.BitString
+	committedBuf *xrand.BitString
+
+	state          State
+	pending        *Message
+	frame          any
+	sendingStarted bool
+	phasesLeft     int
+	seq            int
+
+	seen  map[sim.MsgID]struct{}
+	acks  []sim.MsgID
+	recvs []sim.MsgID
+
+	participations, transmissions int
+}
+
+func newRefLB(p Params, id int, rng *xrand.Source) *refLB {
+	return &refLB{p: p, phaseLen: p.PhaseLen(), id: id, rng: rng,
+		state: StateReceiving, seen: make(map[sim.MsgID]struct{}),
+		seed: seedagree.NewAlg(p.SeedParams, id, rng)}
+}
+
+func (l *refLB) Bcast(payload any) (sim.MsgID, error) {
+	if l.pending != nil {
+		return 0, errAlreadyBroadcasting
+	}
+	l.seq++
+	m := Message{ID: sim.NewMsgID(l.id, l.seq), Payload: payload}
+	l.pending = &m
+	l.frame = DataMsg{Msg: m}
+	l.sendingStarted = false
+	return m.ID, nil
+}
+
+var errAlreadyBroadcasting = &refErr{}
+
+type refErr struct{}
+
+func (*refErr) Error() string { return "ref: already broadcasting" }
+
+func (l *refLB) runsPreamble(phase int) bool {
+	return (phase-1)%l.p.SeedEveryKPhases == 0
+}
+
+func (l *refLB) Transmit(t int) (any, bool) {
+	phase, pos := (t-1)/l.phaseLen+1, (t-1)%l.phaseLen
+	if pos == 0 {
+		if l.pending != nil && !l.sendingStarted {
+			l.sendingStarted = true
+			l.state = StateSending
+			l.phasesLeft = l.p.Tack
+		}
+		if l.runsPreamble(phase) {
+			l.seed.Reset()
+			l.committed = nil
+		}
+	}
+	if pos < l.p.Ts && l.runsPreamble(phase) {
+		return l.seed.Transmit(pos + 1)
+	}
+	return l.bodyRound()
+}
+
+func (l *refLB) bodyRound() (any, bool) {
+	if l.committed == nil {
+		return nil, false
+	}
+	v, ok := l.committed.Consume(l.p.K1)
+	if !ok {
+		return nil, false
+	}
+	if v != 0 {
+		return nil, false
+	}
+	bv, ok := l.committed.Consume(l.p.K2)
+	if !ok {
+		return nil, false
+	}
+	if l.state != StateSending || l.pending == nil {
+		return nil, false
+	}
+	l.participations++
+	b := 1 + int(bv)%l.p.LogDelta
+	if l.rng.Bits(b) != 0 {
+		return nil, false
+	}
+	l.transmissions++
+	return l.frame, true
+}
+
+func (l *refLB) Receive(t, from int, payload any, ok bool) {
+	phase, pos := (t-1)/l.phaseLen+1, (t-1)%l.phaseLen
+	if pos < l.p.Ts && l.runsPreamble(phase) {
+		l.seed.Receive(pos+1, payload, ok)
+		if pos == l.p.Ts-1 {
+			l.seed.Finalize()
+			d := l.seed.Decision()
+			if l.committedBuf == nil {
+				l.committedBuf = d.Seed.Clone()
+			} else {
+				l.committedBuf.CopyFrom(d.Seed)
+			}
+			l.committedBuf.Reset()
+			l.committed = l.committedBuf
+		}
+		return
+	}
+	if ok {
+		if dm, isData := payload.(DataMsg); isData {
+			if _, dup := l.seen[dm.Msg.ID]; !dup {
+				l.seen[dm.Msg.ID] = struct{}{}
+				l.recvs = append(l.recvs, dm.Msg.ID)
+			}
+		}
+	}
+	if pos == l.phaseLen-1 && l.state == StateSending {
+		l.phasesLeft--
+		if l.phasesLeft <= 0 {
+			m := *l.pending
+			l.pending = nil
+			l.frame = nil
+			l.sendingStarted = false
+			l.state = StateReceiving
+			l.acks = append(l.acks, m.ID)
+		}
+	}
+}
+
+// samePayload compares on-air frames structurally: the two clusters hold
+// distinct BitString objects, so seed advertisements compare by owner and
+// content rather than pointer identity.
+func samePayload(a, b any) bool {
+	if am, ok := a.(seedagree.Msg); ok {
+		bm, ok := b.(seedagree.Msg)
+		return ok && am.Owner == bm.Owner && am.Seed.Equal(bm.Seed)
+	}
+	return a == b
+}
+
+// TestPlanEquivalence drives the table-driven LBAlg and the incremental
+// reference through identical executions — same per-node randomness, same
+// staggered bcast schedule, same lossy single-hop channel — and requires
+// byte-identical behavior: every round's transmit decision and payload,
+// every recv output, every ack, and the body-round statistics. Runs cover
+// the paper's schedule (k = 1) and the Section 4.2 variant (k = 3), whose
+// mid-cycle sender arrivals exercise the deferred decode and cursor-debt
+// settlement.
+func TestPlanEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		seedEvery int
+	}{
+		{"paper-k1", 1},
+		{"ablation-k3", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 6
+			p, err := DeriveParams(8, 8, 1, 0.25, WithSeedEveryKPhases(tc.seedEvery))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := NewPhasePlan(p)
+
+			var acks [][]sim.MsgID
+			var recvs [][]sim.MsgID
+			news := make([]*LBAlg, n)
+			refs := make([]*refLB, n)
+			for u := 0; u < n; u++ {
+				news[u] = NewLBAlgWithPlan(plan)
+				news[u].RecordHears = false
+				news[u].Init(&sim.NodeEnv{ID: u, Delta: 8, DeltaPrime: 8, R: 1,
+					Rng: xrand.NodeSource(3, u), Rec: nopRec{}})
+				refs[u] = newRefLB(p, u, xrand.NodeSource(3, u))
+				acks = append(acks, nil)
+				recvs = append(recvs, nil)
+				uu := u
+				news[u].SetOnAck(func(m Message) { acks[uu] = append(acks[uu], m.ID) })
+				news[u].SetOnRecv(func(m Message, _ int) { recvs[uu] = append(recvs[uu], m.ID) })
+			}
+
+			rounds := (2*tc.seedEvery + 2) * p.Tack * p.PhaseLen()
+			loss := xrand.New(99)
+			for tr := 1; tr <= rounds; tr++ {
+				// Staggered bcast inputs: different nodes go active at
+				// different points of the k-phase cycles (mid-phase, so the
+				// sending state starts at the next boundary).
+				if tr%(p.PhaseLen()/2+3) == 0 {
+					u := tr % n
+					idNew, errNew := news[u].Bcast(tr)
+					idRef, errRef := refs[u].Bcast(tr)
+					if (errNew == nil) != (errRef == nil) || idNew != idRef {
+						t.Fatalf("round %d: bcast accepted differently (new %v/%v, ref %v/%v)",
+							tr, idNew, errNew, idRef, errRef)
+					}
+				}
+
+				var payloadNew, payloadRef any
+				fromNew, fromRef, txNew, txRef := -1, -1, 0, 0
+				for u := 0; u < n; u++ {
+					pn, tn := news[u].Transmit(tr)
+					pr, rn := refs[u].Transmit(tr)
+					if tn != rn {
+						t.Fatalf("round %d node %d: transmit decision diverged (new %v, ref %v)", tr, u, tn, rn)
+					}
+					if tn {
+						if !samePayload(pn, pr) {
+							t.Fatalf("round %d node %d: payload diverged (%v vs %v)", tr, u, pn, pr)
+						}
+						txNew++
+						fromNew, payloadNew = u, pn
+						txRef++
+						fromRef, payloadRef = u, pr
+					}
+				}
+				drop := loss.Coin(0.3)
+				deliver := txNew == 1 && !drop
+				for u := 0; u < n; u++ {
+					if deliver && u != fromNew {
+						news[u].Receive(tr, fromNew, payloadNew, true)
+						refs[u].Receive(tr, fromRef, payloadRef, true)
+					} else {
+						news[u].Receive(tr, -1, nil, false)
+						refs[u].Receive(tr, -1, nil, false)
+					}
+				}
+			}
+
+			sent := 0
+			for u := 0; u < n; u++ {
+				pn, tn := news[u].BodyStats()
+				if pr, rn := refs[u].participations, refs[u].transmissions; pn != pr || tn != rn {
+					t.Errorf("node %d: body stats diverged (new %d/%d, ref %d/%d)", u, pn, tn, pr, rn)
+				}
+				sent += tn
+				if len(acks[u]) != len(refs[u].acks) {
+					t.Fatalf("node %d: %d acks vs ref %d", u, len(acks[u]), len(refs[u].acks))
+				}
+				for i := range acks[u] {
+					if acks[u][i] != refs[u].acks[i] {
+						t.Errorf("node %d ack %d: %v vs ref %v", u, i, acks[u][i], refs[u].acks[i])
+					}
+				}
+				if len(recvs[u]) != len(refs[u].recvs) {
+					t.Fatalf("node %d: %d recvs vs ref %d", u, len(recvs[u]), len(refs[u].recvs))
+				}
+				for i := range recvs[u] {
+					if recvs[u][i] != refs[u].recvs[i] {
+						t.Errorf("node %d recv %d: %v vs ref %v", u, i, recvs[u][i], refs[u].recvs[i])
+					}
+				}
+			}
+			if sent == 0 {
+				t.Error("execution produced no data transmissions; equivalence vacuous")
+			}
+		})
+	}
+}

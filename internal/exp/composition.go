@@ -25,10 +25,11 @@ func newLayerNet(d *dualgraph.Dual, eps float64) ([]amac.Layer, []sim.Process, c
 	if err != nil {
 		return nil, nil, core.Params{}, err
 	}
+	plan := core.NewPhasePlan(p)
 	layers := make([]amac.Layer, d.N())
 	procs := make([]sim.Process, d.N())
 	for u := 0; u < d.N(); u++ {
-		alg := core.NewLBAlg(p)
+		alg := core.NewLBAlgWithPlan(plan)
 		alg.RecordHears = false
 		layers[u] = amac.NewAdapter(alg, amac.FromLBParams(p))
 		procs[u] = alg

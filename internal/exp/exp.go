@@ -99,11 +99,12 @@ type lbNetwork struct {
 func buildLBNetwork(d *dualgraph.Dual, p core.Params, s sim.LinkScheduler,
 	envFn func([]core.Service) sim.Environment, seed uint64, recordHears bool) (*lbNetwork, error) {
 
+	plan := core.NewPhasePlan(p)
 	procs := make([]*core.LBAlg, d.N())
 	simProcs := make([]sim.Process, d.N())
 	svcs := make([]core.Service, d.N())
 	for u := range procs {
-		procs[u] = core.NewLBAlg(p)
+		procs[u] = core.NewLBAlgWithPlan(plan)
 		procs[u].RecordHears = recordHears
 		simProcs[u] = procs[u]
 		svcs[u] = procs[u]

@@ -82,9 +82,15 @@ func sweepRounds(n int) int {
 // scales), shared by all points of that n; timing that single build is the
 // construction measurement, so no topology is constructed twice. txProb is
 // the per-node transmit probability per round (0 picks the default 0.1).
-func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, []ConstructionPoint, error) {
+// workers lists the worker-pool sizes to measure (one workerpool row each;
+// nil or empty picks the single default of GOMAXPROCS) — the multi-core CI
+// job sweeps {1, 2, 4} to record the parallel-scatter speedup curve.
+func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]SweepPoint, []ConstructionPoint, error) {
 	if txProb <= 0 {
 		txProb = 0.1
+	}
+	if len(workers) == 0 {
+		workers = []int{runtime.GOMAXPROCS(0)}
 	}
 	schedulers := []struct {
 		name string
@@ -98,9 +104,16 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, []Con
 		name    string
 		d       sim.Driver
 		workers int
-	}{
-		{"sequential", sim.DriverSequential, 0},
-		{"workerpool", sim.DriverWorkerPool, runtime.GOMAXPROCS(0)},
+	}{{"sequential", sim.DriverSequential, 0}}
+	for _, w := range workers {
+		if w < 1 {
+			return nil, nil, fmt.Errorf("exp: sweep worker count %d < 1", w)
+		}
+		drivers = append(drivers, struct {
+			name    string
+			d       sim.Driver
+			workers int
+		}{"workerpool", sim.DriverWorkerPool, w})
 	}
 	var out []SweepPoint
 	var cons []ConstructionPoint
@@ -191,7 +204,7 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64) ([]SweepPoint, []Con
 func SweepTable(points []SweepPoint) *stats.Table {
 	tbl := &stats.Table{
 		Title:   "engine scaling sweep: rounds/sec by n × scheduler/physical layer × driver",
-		Columns: []string{"n", "scheduler", "driver", "rounds", "ns/round", "rounds/sec"},
+		Columns: []string{"n", "scheduler", "driver", "workers", "rounds", "ns/round", "rounds/sec"},
 		Notes: []string{
 			"random geometric graphs at constant density (Δ, Δ′ flat across n); transmit probability 0.1",
 			fmt.Sprintf("sinr rows resolve rounds through the SINR model at tolerance %v (region-bucketed for rounds with ≥ %d transmitters, exact below)",
@@ -199,7 +212,11 @@ func SweepTable(points []SweepPoint) *stats.Table {
 		},
 	}
 	for _, p := range points {
-		tbl.AddRow(p.N, p.Scheduler, p.Driver, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec))
+		w := "-"
+		if p.Workers > 0 {
+			w = fmt.Sprintf("%d", p.Workers)
+		}
+		tbl.AddRow(p.N, p.Scheduler, p.Driver, w, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec))
 	}
 	return tbl
 }

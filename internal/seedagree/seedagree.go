@@ -148,38 +148,104 @@ func Log2Ceil(n int) int {
 	return l
 }
 
+// Plan is the precomputed SeedAlg schedule for one Params value: every
+// quantity the per-round state machine needs, resolved once with the float
+// math (Pow, Log2, Ceil) that is too costly for once-per-round calls. All
+// nodes of a run share the same Params, so one Plan serves every Alg —
+// build it once with NewPlan and hand it to NewAlgWithPlan.
+type Plan struct {
+	p        Params
+	phaseLen int
+	rounds   int
+	bcastP   float64
+	// pp maps a local round 1..rounds to its packed (phase << 16 | pos)
+	// coordinates — 1-based election phase, 0-based position — replacing
+	// the per-round div/mod with one table load. Rounds() = Phases() ×
+	// PhaseLen() stays far below 2^16 on both axes for every reachable ε₁
+	// and Δ (NewPlan checks).
+	pp []uint32
+	// leaderProb[h] is the election probability of phase h (1-based).
+	leaderProb []float64
+}
+
+// NewPlan computes the schedule tables for p. It panics on invalid
+// parameters (callers validate with Params.Validate first, as NewAlg always
+// has).
+func NewPlan(p Params) *Plan {
+	pl := &Plan{p: p, phaseLen: p.PhaseLen(), rounds: p.Rounds(), bcastP: p.broadcastProb()}
+	if pl.phaseLen > 0xffff || p.Phases() > 0xffff {
+		panic("seedagree: schedule too long for the packed plan tables")
+	}
+	pl.pp = make([]uint32, pl.rounds+1)
+	for local := 1; local <= pl.rounds; local++ {
+		phase := (local-1)/pl.phaseLen + 1
+		pos := (local - 1) % pl.phaseLen
+		pl.pp[local] = uint32(phase)<<16 | uint32(pos)
+	}
+	pl.leaderProb = make([]float64, p.Phases()+1)
+	for h := 1; h <= p.Phases(); h++ {
+		pl.leaderProb[h] = p.leaderProb(h)
+	}
+	return pl
+}
+
+// Params returns the parameters the plan was derived from.
+func (pl *Plan) Params() Params { return pl.p }
+
+// Rounds returns the total running time in rounds.
+func (pl *Plan) Rounds() int { return pl.rounds }
+
+// PhaseLen returns the rounds per election phase.
+func (pl *Plan) PhaseLen() int { return pl.phaseLen }
+
+// LeaderProb returns the election probability of phase h (1-based).
+func (pl *Plan) LeaderProb(h int) float64 { return pl.leaderProb[h] }
+
+// PhaseOf maps a local round 1..Rounds() to (phase 1.., position 0..) by
+// table lookup.
+func (pl *Plan) PhaseOf(local int) (phase, pos int) {
+	v := pl.pp[local]
+	return int(v >> 16), int(v & 0xffff)
+}
+
 // Alg is the per-node SeedAlg state machine, driven by local round numbers
 // 1..Params.Rounds(). It is deliberately engine-agnostic so LBAlg can embed
 // one instance per phase preamble; the Process wrapper adapts it to the
 // simulator for standalone runs.
 type Alg struct {
+	// Hot per-round fields first: every Transmit/Receive touches status
+	// (and leaders compare leaderPhase) before anything else.
+	status      Status
+	leaderPhase int
+	decided     bool
+	plan        *Plan
+
 	p   Params
 	id  int
 	rng *xrand.Source
-
-	// Cached schedule quantities; Params derives them with float math too
-	// costly for once-per-round calls.
-	phaseLen int
-	rounds   int
-	bcastP   float64
 
 	initialSeed *xrand.BitString
 	// frame is the boxed Msg{id, initialSeed} a leader puts on the air.
 	// Reset refills initialSeed in place, so the same boxed value stays
 	// valid across runs and advertising rounds never allocate.
-	frame       any
-	status      Status
-	leaderPhase int
+	frame any
 
-	decided  bool
 	decision Decision
 }
 
 // NewAlg creates the state machine for node id with its private randomness,
-// choosing the initial seed uniformly from {0,1}^κ.
+// choosing the initial seed uniformly from {0,1}^κ. It derives a private
+// Plan; batch callers that build one Alg per node should compute the plan
+// once and use NewAlgWithPlan.
 func NewAlg(p Params, id int, rng *xrand.Source) *Alg {
-	a := &Alg{p: p, id: id, rng: rng,
-		phaseLen: p.PhaseLen(), rounds: p.Rounds(), bcastP: p.broadcastProb()}
+	return NewAlgWithPlan(NewPlan(p), id, rng)
+}
+
+// NewAlgWithPlan creates the state machine over a shared precomputed
+// schedule (see NewPlan). The plan is read-only to the Alg, so any number
+// of nodes may share one.
+func NewAlgWithPlan(plan *Plan, id int, rng *xrand.Source) *Alg {
+	a := &Alg{p: plan.p, plan: plan, id: id, rng: rng}
 	a.Reset()
 	return a
 }
@@ -211,22 +277,25 @@ func (a *Alg) Status() Status { return a.status }
 // Decided reports whether a decision has been made this run.
 func (a *Alg) Decided() bool { return a.decided }
 
+// Idle reports that the node is inactive: it has decided and is not
+// advertising, so Transmit and Receive are no-ops (drawing no private
+// randomness) for the rest of the run. LBAlg uses this to skip the calls.
+func (a *Alg) Idle() bool { return a.status == StatusInactive }
+
 // Decision returns the decision; valid only once Decided is true.
 func (a *Alg) Decision() Decision { return a.decision }
-
-// phaseOf maps a local round 1..Rounds() to (phase 1.., position 0..).
-func (a *Alg) phaseOf(local int) (phase, pos int) {
-	return (local-1)/a.phaseLen + 1, (local - 1) % a.phaseLen
-}
 
 // Transmit implements the round's broadcast decision for local round
 // 1..Rounds(). Leader election for phase h happens at the first round of
 // the phase, before the transmission decision, exactly as in the paper.
+// The phase arithmetic and election probabilities come from the shared
+// Plan tables instead of per-round div/mod and Pow.
 func (a *Alg) Transmit(local int) (payload any, transmit bool) {
-	if local < 1 || local > a.rounds {
+	if local < 1 || local > a.plan.rounds {
 		return nil, false
 	}
-	phase, pos := a.phaseOf(local)
+	v := a.plan.pp[local]
+	phase, pos := int(v>>16), int(v&0xffff)
 
 	// Lazily retire leaders whose advertising phase ended.
 	if a.status == StatusLeader && phase > a.leaderPhase {
@@ -234,7 +303,7 @@ func (a *Alg) Transmit(local int) (payload any, transmit bool) {
 	}
 
 	if pos == 0 && a.status == StatusActive {
-		if a.rng.Coin(a.p.leaderProb(phase)) {
+		if a.rng.Coin(a.plan.leaderProb[phase]) {
 			a.status = StatusLeader
 			a.leaderPhase = phase
 			a.decide(Decision{Owner: a.id, Seed: a.initialSeed, Round: local})
@@ -242,7 +311,7 @@ func (a *Alg) Transmit(local int) (payload any, transmit bool) {
 	}
 
 	if a.status == StatusLeader && phase == a.leaderPhase {
-		if a.rng.Coin(a.bcastP) {
+		if a.rng.Coin(a.plan.bcastP) {
 			return a.frame, true
 		}
 	}
@@ -253,13 +322,13 @@ func (a *Alg) Transmit(local int) (payload any, transmit bool) {
 // leader's (j, s) commit to it and go inactive; the final round triggers the
 // default decision for nodes that heard nothing and never led.
 func (a *Alg) Receive(local int, payload any, ok bool) {
-	if local >= 1 && local <= a.rounds && ok && a.status == StatusActive {
+	if local >= 1 && local <= a.plan.rounds && ok && a.status == StatusActive {
 		if msg, isSeed := payload.(Msg); isSeed {
 			a.status = StatusInactive
 			a.decide(Decision{Owner: msg.Owner, Seed: msg.Seed, Round: local})
 		}
 	}
-	if local == a.rounds {
+	if local == a.plan.rounds {
 		a.Finalize()
 	}
 }

@@ -302,3 +302,67 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanMatchesFormulas pins the precomputed schedule tables to the
+// Params formulas they cache.
+func TestPlanMatchesFormulas(t *testing.T) {
+	for _, delta := range []int{1, 2, 3, 8, 100} {
+		p, err := NewParams(0.2, 16, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := NewPlan(p)
+		if pl.Rounds() != p.Rounds() || pl.PhaseLen() != p.PhaseLen() {
+			t.Fatalf("Δ=%d: plan rounds/phaseLen %d/%d, want %d/%d",
+				delta, pl.Rounds(), pl.PhaseLen(), p.Rounds(), p.PhaseLen())
+		}
+		for local := 1; local <= p.Rounds(); local++ {
+			phase, pos := pl.PhaseOf(local)
+			if want := (local-1)/p.PhaseLen() + 1; phase != want {
+				t.Fatalf("Δ=%d local %d: phase %d, want %d", delta, local, phase, want)
+			}
+			if want := (local - 1) % p.PhaseLen(); pos != want {
+				t.Fatalf("Δ=%d local %d: pos %d, want %d", delta, local, pos, want)
+			}
+		}
+		for h := 1; h <= p.Phases(); h++ {
+			if pl.LeaderProb(h) != p.leaderProb(h) {
+				t.Fatalf("Δ=%d phase %d: leaderProb %v, want %v", delta, h, pl.LeaderProb(h), p.leaderProb(h))
+			}
+		}
+	}
+}
+
+// TestAlgWithSharedPlanEquivalent: an Alg over a shared plan behaves
+// identically to one that derived its own.
+func TestAlgWithSharedPlanEquivalent(t *testing.T) {
+	p, err := NewParams(0.25, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(p)
+	a := NewAlg(p, 1, xrand.New(42))
+	b := NewAlgWithPlan(plan, 1, xrand.New(42))
+	for local := 1; local <= p.Rounds(); local++ {
+		pa, ta := a.Transmit(local)
+		pb, tb := b.Transmit(local)
+		if ta != tb {
+			t.Fatalf("round %d: transmit %v vs %v", local, ta, tb)
+		}
+		if ta {
+			ma, mb := pa.(Msg), pb.(Msg)
+			if ma.Owner != mb.Owner || !ma.Seed.Equal(mb.Seed) {
+				t.Fatalf("round %d: payloads diverged", local)
+			}
+		}
+		a.Receive(local, nil, false)
+		b.Receive(local, nil, false)
+		if a.Status() != b.Status() || a.Decided() != b.Decided() || a.Idle() != b.Idle() {
+			t.Fatalf("round %d: state diverged (%v/%v vs %v/%v)", local, a.Status(), a.Decided(), b.Status(), b.Decided())
+		}
+	}
+	da, db := a.Decision(), b.Decision()
+	if da.Owner != db.Owner || da.Default != db.Default || !da.Seed.Equal(db.Seed) {
+		t.Fatalf("decisions diverged: %+v vs %+v", da, db)
+	}
+}

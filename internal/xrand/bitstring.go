@@ -98,6 +98,67 @@ func (b *BitString) Consume(k int) (v uint64, ok bool) {
 	return v, true
 }
 
+// ConsumeMany consumes len(dst) successive k-bit fields from the front of
+// the unconsumed region, filling dst little-endian exactly as len(dst)
+// repeated Consume(k) calls would. It is all-or-nothing: if fewer than
+// len(dst)·k bits remain or k is outside [0, 64], it reports ok=false and
+// consumes nothing. The bulk loop keeps the cursor in a register and pays
+// the range check once instead of per field — the batched path behind the
+// protocol layer's once-per-phase coin decode.
+func (b *BitString) ConsumeMany(k int, dst []uint64) (ok bool) {
+	if k < 0 || k > 64 || b.Remaining() < k*len(dst) {
+		return false
+	}
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return true
+	}
+	cur := b.cur
+	mask := ^uint64(0)
+	if k < 64 {
+		mask = 1<<uint(k) - 1
+	}
+	for i := range dst {
+		j, off := cur/64, uint(cur)%64
+		v := b.words[j] >> off
+		if rem := 64 - int(off); rem < k {
+			v |= b.words[j+1] << uint(rem)
+		}
+		dst[i] = v & mask
+		cur += k
+	}
+	b.cur = cur
+	return true
+}
+
+// Words exposes the backing word array: bit i of the string is
+// words[i/64] >> (i%64) & 1, and unused high bits of the final word are
+// zero. The slice aliases b's storage and must be treated as read-only; it
+// exists — in the spirit of math/big.Int.Bits — so batch decoders (the
+// protocol layer's once-per-phase coin pass) can run a word-level loop
+// with the cursor in locals instead of a cursor-checked Consume call per
+// field. Pair with Offset to find the next unconsumed bit and Skip to
+// commit how far the batch read.
+func (b *BitString) Words() []uint64 { return b.words }
+
+// Offset returns the consumption cursor: the index of the next unconsumed
+// bit (Len()−Remaining()).
+func (b *BitString) Offset() int { return b.cur }
+
+// Skip advances the cursor k bits without extracting them — the commit
+// step of a Words/Offset batch decode. Like Consume it is all-or-nothing:
+// it reports false, moving nothing, if k is negative or fewer than k bits
+// remain.
+func (b *BitString) Skip(k int) bool {
+	if k < 0 || b.Remaining() < k {
+		return false
+	}
+	b.cur += k
+	return true
+}
+
 // Clone returns a copy sharing no state with b, including the cursor
 // position. Nodes that commit to the same owner's seed each hold their own
 // clone so cursors advance independently.

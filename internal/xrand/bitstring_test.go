@@ -218,3 +218,193 @@ func BenchmarkBitStringConsume(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestBitStringConsumeManyMatchesConsume is the bit-identity contract of
+// the bulk path: ConsumeMany(k, dst) must fill dst with exactly the values
+// len(dst) repeated Consume(k) calls produce, leave the cursor in the same
+// place, and fail (consuming nothing) exactly when the repeated calls could
+// not all succeed. Randomized widths and counts cross word boundaries in
+// every alignment.
+func TestBitStringConsumeManyMatchesConsume(t *testing.T) {
+	f := func(seed uint64, rawN uint16, rawSkip, rawK, rawCount uint8) bool {
+		n := int(rawN % 700)
+		src := New(seed)
+		a := NewBitString(src, n)
+		b := a.Clone()
+		// Random pre-skip so the bulk read starts at any bit alignment.
+		if skip := int(rawSkip); n > 0 {
+			pre := skip % (n + 1)
+			for pre > 0 {
+				step := pre
+				if step > 64 {
+					step = 64
+				}
+				va, _ := a.Consume(step)
+				vb, _ := b.Consume(step)
+				if va != vb {
+					return false
+				}
+				pre -= step
+			}
+		}
+		k := int(rawK % 66) // includes the invalid k = 65
+		count := int(rawCount % 40)
+		dst := make([]uint64, count)
+		okMany := a.ConsumeMany(k, dst)
+
+		want := make([]uint64, count)
+		okAll := k >= 0 && k <= 64
+		if okAll {
+			probe := b.Clone()
+			for i := range want {
+				v, ok := probe.Consume(k)
+				if !ok {
+					okAll = false
+					break
+				}
+				want[i] = v
+			}
+		}
+		if okMany != okAll {
+			return false
+		}
+		if !okMany {
+			// All-or-nothing: the cursor must not have moved.
+			return a.Remaining() == b.Remaining()
+		}
+		for i := range want {
+			v, ok := b.Consume(k)
+			if !ok || v != want[i] || dst[i] != v {
+				return false
+			}
+		}
+		return a.Remaining() == b.Remaining()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWordsOffsetSkipMatchesConsume: a word-level batch decode over
+// Words()/Offset(), committed with Skip, observes exactly the bits that
+// repeated Consume calls would return, and Skip moves the cursor exactly
+// as Consume does (including the all-or-nothing failure).
+func TestWordsOffsetSkipMatchesConsume(t *testing.T) {
+	f := func(seed uint64, rawN uint16, chunks []uint8) bool {
+		n := int(rawN % 700)
+		a := NewBitString(New(seed), n)
+		b := a.Clone()
+		words := a.Words()
+		for _, c := range chunks {
+			k := int(c % 65)
+			vb, okb := b.Consume(k)
+			// Manual extraction at the current offset, the way the
+			// protocol layer's phase decode reads fields.
+			cur := a.Offset()
+			oka := a.Len()-cur >= k
+			var va uint64
+			if oka && k > 0 {
+				i, off := cur>>6, uint(cur)&63
+				va = words[i] >> off
+				if i+1 < len(words) {
+					va |= words[i+1] << 1 << (63 - off)
+				}
+				va &= uint64(1)<<uint(k) - 1
+			}
+			if oka != okb {
+				return false
+			}
+			if !okb {
+				if a.Skip(k) {
+					return false // Skip must fail exactly when Consume does
+				}
+				continue
+			}
+			if va != vb || !a.Skip(k) {
+				return false
+			}
+			if a.Offset() != a.Len()-b.Remaining() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipRejectsNegative(t *testing.T) {
+	b := NewBitString(New(5), 32)
+	if b.Skip(-1) {
+		t.Error("Skip(-1) succeeded")
+	}
+	if b.Skip(33) {
+		t.Error("Skip past the end succeeded")
+	}
+	if b.Offset() != 0 {
+		t.Errorf("failed Skip moved the cursor to %d", b.Offset())
+	}
+	if !b.Skip(32) || b.Offset() != 32 {
+		t.Error("Skip of exactly remaining bits failed")
+	}
+}
+
+func TestBitStringConsumeManyZeroWidth(t *testing.T) {
+	b := NewBitString(New(3), 64)
+	dst := []uint64{7, 7, 7}
+	if !b.ConsumeMany(0, dst) {
+		t.Fatal("ConsumeMany(0) failed")
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %d after zero-width bulk consume", i, v)
+		}
+	}
+	if b.Remaining() != 64 {
+		t.Fatalf("zero-width bulk consume moved the cursor: %d remaining", b.Remaining())
+	}
+	if !b.ConsumeMany(5, nil) {
+		t.Fatal("empty bulk consume failed")
+	}
+}
+
+// BenchmarkBitStringConsumeMany measures the bulk path against
+// BenchmarkBitStringConsume's repeated scalar calls at the same width.
+func BenchmarkBitStringConsumeMany(b *testing.B) {
+	bs := NewBitString(New(1), 1<<20)
+	dst := make([]uint64, 512)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i += len(dst) {
+		if !bs.ConsumeMany(7, dst) {
+			bs.Reset()
+			continue
+		}
+		sink += dst[0]
+	}
+	_ = sink
+}
+
+// BenchmarkBitStringConsumeProtocol replays the protocol layer's per-round
+// coin pattern (a K1-bit participation field, then a K2-bit selection field
+// on the ~2^-K1 participant rounds) through scalar Consume calls — the
+// pre-plan per-node-per-round hot path that the phase-plan decode batches.
+func BenchmarkBitStringConsumeProtocol(b *testing.B) {
+	const k1, k2 = 4, 3
+	bs := NewBitString(New(1), 1<<20)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, ok := bs.Consume(k1)
+		if !ok {
+			bs.Reset()
+			continue
+		}
+		if v == 0 {
+			bv, _ := bs.Consume(k2)
+			sink += bv
+		}
+	}
+	_ = sink
+}

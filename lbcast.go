@@ -228,10 +228,13 @@ func assemble(d *dualgraph.Dual, o options) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{dual: d, params: params, acked: make(map[MessageID]bool)}
+	// One precomputed phase schedule serves every node (the plan is
+	// read-only to the processes).
+	plan := core.NewPhasePlan(params)
 	nw.procs = make([]*core.LBAlg, d.N())
 	simProcs := make([]sim.Process, d.N())
 	for u := 0; u < d.N(); u++ {
-		alg := core.NewLBAlg(params)
+		alg := core.NewLBAlgWithPlan(plan)
 		node := u
 		alg.OnRecv = func(m core.Message, from int) {
 			if nw.onReceive != nil {

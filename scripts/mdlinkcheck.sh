@@ -1,11 +1,24 @@
 #!/usr/bin/env bash
 # mdlinkcheck.sh — verify that every relative markdown link in the given
-# files points at an existing file (or file#anchor). External (http/https/
-# mailto) links and pure in-page anchors are skipped; this is a docs-drift
-# gate, not a network crawler.
+# files points at an existing file, and that file#anchor links point at a
+# heading that actually exists in the target markdown file (GitHub-style
+# slugs: lowercased, punctuation stripped, spaces to dashes). External
+# (http/https/mailto) links and pure in-page anchors are skipped; this is a
+# docs-drift gate, not a network crawler.
 #
 # Usage: scripts/mdlinkcheck.sh README.md ROADMAP.md docs/*.md
 set -u
+
+# slugs FILE — print the GitHub anchor slug of every heading in FILE
+# (closed-ATX "## Foo ##" trailers and surrounding spaces are trimmed; the
+# "-N" suffixes GitHub appends to duplicate headings are not generated, so
+# keep linked headings unique).
+slugs() {
+  grep -E '^#{1,6} ' "$1" |
+    sed -E 's/^#{1,6} +//; s/ +#+ *$//; s/^ +//; s/ +$//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
 
 fail=0
 for file in "$@"; do
@@ -23,10 +36,30 @@ for file in "$@"; do
     esac
     path=${target%%#*}
     [ -z "$path" ] && continue
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+    resolved=""
+    if [ -e "$dir/$path" ]; then
+      resolved="$dir/$path"
+    elif [ -e "$path" ]; then
+      resolved="$path"
+    else
       echo "mdlinkcheck: $file: broken link -> $target" >&2
       fail=1
+      continue
     fi
+    # Anchored link into a markdown file: the heading must exist.
+    case "$target" in
+    *#*)
+      anchor=${target#*#}
+      case "$path" in
+      *.md)
+        if ! slugs "$resolved" | grep -qxF -- "$anchor"; then
+          echo "mdlinkcheck: $file: broken anchor -> $target (no heading slug \"$anchor\" in $resolved)" >&2
+          fail=1
+        fi
+        ;;
+      esac
+      ;;
+    esac
   done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
 done
 exit $fail
