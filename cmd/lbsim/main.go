@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lbcast/internal/core"
@@ -27,9 +28,9 @@ func main() {
 		senders   = flag.Int("senders", 3, "number of saturated senders")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		traceFile = flag.String("trace", "", "write the execution trace as JSON to this file")
-		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison")
+		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison|churn")
 		sizeFlag  = flag.String("size", "small", "scale for -exp runs: small|medium|full")
-		outFile   = flag.String("out", "comparison.json", "JSON output path for -exp comparison")
+		outFile   = flag.String("out", "", "JSON output path for -exp runs (default comparison.json / churn.json)")
 	)
 	flag.Parse()
 	if *expFlag != "" {
@@ -45,37 +46,57 @@ func main() {
 	}
 }
 
-// runExp dispatches the -exp subsystems. Today that is the comparison
-// matrix: LBAlg vs the SINR local broadcast layer vs the GHLN contention
-// baselines over the sweep topologies, rendered as a table and written as
-// the machine-readable comparison JSON.
+// runExp dispatches the -exp subsystems: the comparison matrix (LBAlg vs
+// the SINR local broadcast layer vs the GHLN contention baselines) and the
+// churn matrix (the same contenders degrading under identical Poisson
+// fault schedules). Each renders a table and writes machine-readable JSON.
 func runExp(name, sizeName string, seed uint64, outFile string) error {
-	if name != "comparison" {
-		return fmt.Errorf("unknown -exp %q (supported: comparison)", name)
-	}
 	size, err := exp.ParseSize(sizeName)
 	if err != nil {
 		return err
 	}
-	rep, err := exp.RunComparison(size, seed)
-	if err != nil {
-		return err
+	var (
+		tbl      *stats.Table
+		writeFn  func(io.Writer) error
+		rowCount int
+	)
+	switch name {
+	case "comparison":
+		rep, err := exp.RunComparison(size, seed)
+		if err != nil {
+			return err
+		}
+		tbl, writeFn, rowCount = exp.ComparisonTable(rep), rep.WriteJSON, len(rep.Rows)
+		if outFile == "" {
+			outFile = "comparison.json"
+		}
+	case "churn":
+		rep, err := exp.RunChurn(size, seed)
+		if err != nil {
+			return err
+		}
+		tbl, writeFn, rowCount = exp.ChurnTable(rep), rep.WriteJSON, len(rep.Rows)
+		if outFile == "" {
+			outFile = "churn.json"
+		}
+	default:
+		return fmt.Errorf("unknown -exp %q (supported: comparison, churn)", name)
 	}
-	if err := exp.ComparisonTable(rep).Render(os.Stdout); err != nil {
+	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
 	f, err := os.Create(outFile)
 	if err != nil {
 		return err
 	}
-	if err := rep.WriteJSON(f); err != nil {
+	if err := writeFn(f); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("comparison table written to %s (%d rows)\n", outFile, len(rep.Rows))
+	fmt.Printf("%s table written to %s (%d rows)\n", name, outFile, rowCount)
 	return nil
 }
 

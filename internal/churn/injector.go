@@ -1,0 +1,199 @@
+package churn
+
+import (
+	"fmt"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/geo"
+	"lbcast/internal/sim"
+)
+
+// InjectorConfig assembles a fault-injection run.
+type InjectorConfig struct {
+	// Plan is the fault schedule; validated against Dual.N() at build time.
+	Plan *Plan
+	// Dual is the full-universe dual graph the engine runs over. Leave and
+	// Join events patch it in place.
+	Dual *dualgraph.Dual
+	// Index, when non-nil, is the grid index over Dual.Emb; patches keep it
+	// in sync and use it for O(density) neighbor discovery. Nil falls back
+	// to PatchNode's linear scan.
+	Index *geo.GridIndex
+	// Policy classifies grey-zone links re-created by Join patches. Must
+	// match the policy the dual was built with; GreyMixed is rejected by
+	// PatchNode (its construction coin is not replayable mid-run).
+	Policy dualgraph.GreyPolicy
+	// Restart builds the fresh process installed by Recover and Join
+	// events. Required when the plan contains any; the engine initialises
+	// the process with an incarnation-salted RNG via ReplaceProc.
+	Restart func(u int) sim.Process
+	// Inner is an optional wrapped environment (e.g. core.SaturatingEnv);
+	// it runs after this round's faults are applied, so it observes the
+	// post-fault world.
+	Inner sim.Environment
+	// Fade, when non-nil, is advanced each round and rebound after every
+	// topology patch. Build it over the same Dual and pass it as the
+	// engine's Sched (directly or further wrapped).
+	Fade *FadeScheduler
+	// OnTopology runs after each Leave/Join patch and RefreshTopology,
+	// before the round's processes act — the hook for re-syncing stateful
+	// topology consumers (e.g. sched.Adaptive.Rebind). An error stops
+	// fault injection and surfaces through Err.
+	OnTopology func() error
+	// OnRestart runs after each Recover/Join installed a fresh process —
+	// the hook for environments that hold per-node references (e.g.
+	// re-arming a saturating sender, see core.SaturatingEnv.Rearm).
+	OnRestart func(u int, p sim.Process)
+}
+
+// Injector replays a Plan against an engine through the sim.Environment
+// hook. Build it with NewInjector, apply the plan's initial detachments
+// with Detach *before* sim.New (the engine snapshots topology at
+// construction), then hand the engine to Attach and pass the injector as
+// the Config.Env.
+type Injector struct {
+	cfg  InjectorConfig
+	eng  *sim.Engine
+	pos  []geo.Point // original placements, for Join re-attachment
+	next int         // next unapplied plan event
+	err  error
+}
+
+// NewInjector validates the plan against the dual graph and snapshots the
+// node placements (Join re-attaches a node where it originally stood, even
+// though detachment leaves the embedding slot stale).
+func NewInjector(cfg InjectorConfig) (*Injector, error) {
+	if cfg.Plan == nil || cfg.Dual == nil {
+		return nil, fmt.Errorf("churn: injector needs a plan and a dual graph")
+	}
+	if err := cfg.Plan.Validate(cfg.Dual.N()); err != nil {
+		return nil, err
+	}
+	if cfg.Restart == nil {
+		for _, ev := range cfg.Plan.Events {
+			if ev.Kind == Recover || ev.Kind == Join {
+				return nil, fmt.Errorf("churn: plan has %s events but no Restart factory", ev.Kind)
+			}
+		}
+		if len(cfg.Plan.InitialAbsent) > 0 {
+			return nil, fmt.Errorf("churn: plan has initially-absent nodes but no Restart factory")
+		}
+	}
+	return &Injector{
+		cfg: cfg,
+		pos: append([]geo.Point(nil), cfg.Dual.Emb...),
+	}, nil
+}
+
+// Detach applies the plan's InitialAbsent set to the dual graph. Call it
+// before sim.New: the engine reads the (patched) topology at construction,
+// while Δ/Δ′ for protocol parameters should be derived from the full
+// universe beforehand — the bounds hold for every subgraph.
+func (in *Injector) Detach() error {
+	for _, u := range in.cfg.Plan.InitialAbsent {
+		if err := in.cfg.Dual.PatchNode(u, nil, in.cfg.Index, in.cfg.Policy); err != nil {
+			return fmt.Errorf("churn: initial detach of node %d: %w", u, err)
+		}
+	}
+	if in.cfg.Fade != nil && len(in.cfg.Plan.InitialAbsent) > 0 {
+		in.cfg.Fade.Rebind()
+	}
+	return nil
+}
+
+// Attach binds the injector to its engine and silences the initially-absent
+// nodes (their processes must not transmit into a topology they are not
+// part of).
+func (in *Injector) Attach(e *sim.Engine) {
+	in.eng = e
+	for _, u := range in.cfg.Plan.InitialAbsent {
+		e.SetDown(u, true)
+	}
+}
+
+// Err returns the first fault-application error, if any. Injection stops at
+// the first error; the simulation itself keeps running.
+func (in *Injector) Err() error { return in.err }
+
+// BeforeRound implements sim.Environment: apply this round's faults, move
+// the fade window, then let the wrapped environment act on the post-fault
+// world.
+func (in *Injector) BeforeRound(t int) {
+	for in.err == nil && in.next < len(in.cfg.Plan.Events) && in.cfg.Plan.Events[in.next].Round <= t {
+		ev := in.cfg.Plan.Events[in.next]
+		in.next++
+		if err := in.apply(ev); err != nil {
+			in.err = fmt.Errorf("churn: %s of node %d in round %d: %w", ev.Kind, ev.Node, t, err)
+		}
+	}
+	if in.cfg.Fade != nil {
+		in.cfg.Fade.Advance(t)
+	}
+	if in.cfg.Inner != nil {
+		in.cfg.Inner.BeforeRound(t)
+	}
+}
+
+// AfterRound implements sim.Environment.
+func (in *Injector) AfterRound(t int) {
+	if in.cfg.Inner != nil {
+		in.cfg.Inner.AfterRound(t)
+	}
+}
+
+// apply executes one lifecycle event against the engine and dual graph.
+func (in *Injector) apply(ev Event) error {
+	if in.eng == nil {
+		return fmt.Errorf("injector not attached to an engine")
+	}
+	switch ev.Kind {
+	case Crash:
+		in.eng.SetDown(ev.Node, true)
+	case Recover:
+		in.restart(ev.Node)
+	case Leave:
+		if err := in.cfg.Dual.PatchNode(ev.Node, nil, in.cfg.Index, in.cfg.Policy); err != nil {
+			return err
+		}
+		in.eng.SetDown(ev.Node, true)
+		return in.resync()
+	case Join:
+		p := in.pos[ev.Node]
+		if err := in.cfg.Dual.PatchNode(ev.Node, &p, in.cfg.Index, in.cfg.Policy); err != nil {
+			return err
+		}
+		if err := in.resync(); err != nil {
+			return err
+		}
+		in.restart(ev.Node)
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// restart installs a fresh process at u and brings its radio up.
+func (in *Injector) restart(u int) {
+	p := in.cfg.Restart(u)
+	in.eng.ReplaceProc(u, p)
+	in.eng.SetDown(u, false)
+	if in.cfg.OnRestart != nil {
+		in.cfg.OnRestart(u, p)
+	}
+}
+
+// resync re-reads the patched topology into every consumer: the engine's
+// flattened CSR views, the fade scheduler's edge mask, and whatever the
+// OnTopology callback re-binds.
+func (in *Injector) resync() error {
+	in.eng.RefreshTopology()
+	if in.cfg.Fade != nil {
+		in.cfg.Fade.Rebind()
+	}
+	if in.cfg.OnTopology != nil {
+		return in.cfg.OnTopology()
+	}
+	return nil
+}
+
+var _ sim.Environment = (*Injector)(nil)

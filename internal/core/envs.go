@@ -105,5 +105,23 @@ func (e *SaturatingEnv) BeforeRound(t int) {
 // AfterRound implements sim.Environment.
 func (e *SaturatingEnv) AfterRound(int) {}
 
+// Rearm re-hooks a sender after its Service was replaced — e.g. by a churn
+// restart, which abandons the old process together with the OnAck callback
+// this environment planted on it. The environment aliases the Service
+// slice it was built over, so callers that store the replacement at the
+// same index need only call Rearm; the sender then gets a fresh bcast at
+// the next BeforeRound (any broadcast in flight at the crash is counted as
+// lost, not acked). No-op for nodes that are not senders.
+func (e *SaturatingEnv) Rearm(node int) {
+	if _, ok := e.ready[node]; !ok {
+		return
+	}
+	e.procs[node].SetOnAck(func(Message) {
+		e.acks[node]++
+		e.ready[node] = true
+	})
+	e.ready[node] = true
+}
+
 // Acks returns the ack count observed for the given sender.
 func (e *SaturatingEnv) Acks(node int) int { return e.acks[node] }

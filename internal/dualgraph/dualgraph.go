@@ -217,6 +217,19 @@ type Dual struct {
 
 	gCSR CSR
 	uCSR UnreliableCSR
+
+	// present[v] is false for vertices detached by PatchNode (crashed-and-
+	// left or not-yet-joined nodes). nil means every vertex is present — the
+	// construction-time state, so churn-free duals pay nothing.
+	present []bool
+	// patchStencil caches the radius-R neighbor stencil PatchNode scans when
+	// attaching a node; it depends only on R.
+	patchStencil []geo.CellOffset
+	// uArc backs the uAdj incidence slices; uCur and uNew are patch-path
+	// scratch (incidence fill cursors, per-attach new unreliable edges).
+	uArc []unreliableArc
+	uCur []int32
+	uNew []Edge
 }
 
 // CSR is a flattened adjacency in compressed-sparse-row form: the neighbors
@@ -324,14 +337,19 @@ func (d *Dual) checkGeographic() error {
 		}
 	}
 	// Condition 1 needs all close pairs; the grid index bounds the scan to
-	// the unit-distance stencil around each vertex instead of O(n²).
+	// the unit-distance stencil around each vertex instead of O(n²). Absent
+	// vertices keep a (stale) embedding entry but participate in no edges, so
+	// pairs touching them are exempt from the close-pair condition.
 	gi := geo.BuildGridIndex(d.Emb)
 	stencil := geo.NeighborStencil(1)
 	var bad error
 	for u := 0; u < n && bad == nil; u++ {
+		if !d.Present(u) {
+			continue
+		}
 		gi.VisitNear(u, stencil, func(v32 int32) {
 			v := int(v32)
-			if bad != nil || v <= u {
+			if bad != nil || v <= u || !d.Present(v) {
 				return
 			}
 			if geo.Dist(d.Emb[u], d.Emb[v]) <= 1 && !d.G.HasEdge(u, v) {
@@ -345,46 +363,118 @@ func (d *Dual) checkGeographic() error {
 
 // index precomputes the unreliable edge list, per-node incidence and the
 // flattened CSR forms, the structures the round engine consults when
-// applying a link schedule and scattering transmissions.
+// applying a link schedule and scattering transmissions. PatchNode maintains
+// the edge list incrementally and re-runs rebuildFlat after every splice, so
+// the steady-state churn path reuses the same backing arrays. Callers that
+// copy the CSR slice headers (the round engine does, at construction) must
+// re-read them after any patch — rebuildFlat rewrites the shared backing
+// arrays in place whenever capacity allows.
 func (d *Dual) index() {
+	d.scanUnreliable()
+	d.rebuildFlat()
+}
+
+// scanUnreliable derives the canonical unreliable edge list E′ ∖ E from the
+// adjacency lists: u ascending over sorted G′ adjacency with u < v, i.e.
+// (U, V)-lexicographic order. Both adjacency lists are sorted, so a forward
+// merge walk over G.adj[u] replaces a per-arc binary search. This full scan
+// runs at construction only; PatchNode maintains d.unreliable incrementally
+// in the same canonical order.
+func (d *Dual) scanUnreliable() {
 	n := d.G.N()
-	d.uAdj = make([][]unreliableArc, n)
+	d.unreliable = d.unreliable[:0]
 	for u := 0; u < n; u++ {
-		for _, v := range d.Gp.Neighbors(u) {
-			if int32(u) < v && !d.G.HasEdge(u, int(v)) {
-				e := int32(len(d.unreliable))
-				d.unreliable = append(d.unreliable, Edge{U: int32(u), V: v})
-				d.uAdj[u] = append(d.uAdj[u], unreliableArc{peer: v, edge: e})
-				d.uAdj[v] = append(d.uAdj[v], unreliableArc{peer: int32(u), edge: e})
+		gAdj := d.G.adj[u]
+		gi := 0
+		for _, v := range d.Gp.adj[u] {
+			if v <= int32(u) {
+				continue
 			}
+			for gi < len(gAdj) && gAdj[gi] < v {
+				gi++
+			}
+			if gi < len(gAdj) && gAdj[gi] == v {
+				continue
+			}
+			d.unreliable = append(d.unreliable, Edge{U: int32(u), V: v})
 		}
 	}
+}
 
+// rebuildFlat re-derives the flattened forms — per-node unreliable
+// incidence, the unreliable CSR and the reliable CSR — from d.unreliable
+// and the adjacency lists, reusing buffer capacity. Edge indices are
+// positions in d.unreliable; because the list is canonically ordered, the
+// counting pass plus scatter pass below lays every uAdj[u] out sorted by
+// peer, matching what a per-node sort would produce. uAdj slices alias the
+// shared uArc buffer and, like the CSR headers, stay valid only until the
+// next patch.
+func (d *Dual) rebuildFlat() {
+	n := d.G.N()
 	gTotal := 0
 	for u := 0; u < n; u++ {
 		gTotal += len(d.G.adj[u])
 	}
-	d.gCSR = CSR{Off: make([]int32, n+1), Targets: make([]int32, 0, gTotal)}
+	if len(d.gCSR.Off) != n+1 {
+		d.gCSR.Off = make([]int32, n+1)
+	}
+	if cap(d.gCSR.Targets) < gTotal {
+		d.gCSR.Targets = make([]int32, 0, gTotal)
+	} else {
+		d.gCSR.Targets = d.gCSR.Targets[:0]
+	}
 	for u := 0; u < n; u++ {
 		d.gCSR.Off[u] = int32(len(d.gCSR.Targets))
 		d.gCSR.Targets = append(d.gCSR.Targets, d.G.adj[u]...)
 	}
-	d.gCSR.Off[n] = int32(len(d.gCSR.Targets))
+	d.gCSR.Off[n] = int32(gTotal)
 
 	uTotal := 2 * len(d.unreliable)
-	d.uCSR = UnreliableCSR{
-		Off:   make([]int32, n+1),
-		Peers: make([]int32, 0, uTotal),
-		Edges: make([]int32, 0, uTotal),
+	if len(d.uCSR.Off) != n+1 {
+		d.uCSR.Off = make([]int32, n+1)
+	}
+	off := d.uCSR.Off
+	for i := range off {
+		off[i] = 0
+	}
+	for _, e := range d.unreliable {
+		off[e.U+1]++
+		off[e.V+1]++
 	}
 	for u := 0; u < n; u++ {
-		d.uCSR.Off[u] = int32(len(d.uCSR.Peers))
-		for _, arc := range d.uAdj[u] {
-			d.uCSR.Peers = append(d.uCSR.Peers, arc.peer)
-			d.uCSR.Edges = append(d.uCSR.Edges, arc.edge)
-		}
+		off[u+1] += off[u]
 	}
-	d.uCSR.Off[n] = int32(len(d.uCSR.Peers))
+	if cap(d.uArc) < uTotal {
+		d.uArc = make([]unreliableArc, uTotal)
+	}
+	buf := d.uArc[:uTotal]
+	if cap(d.uCur) < n {
+		d.uCur = make([]int32, n)
+	}
+	cur := d.uCur[:n]
+	copy(cur, off[:n])
+	for i, e := range d.unreliable {
+		buf[cur[e.U]] = unreliableArc{peer: e.V, edge: int32(i)}
+		cur[e.U]++
+		buf[cur[e.V]] = unreliableArc{peer: e.U, edge: int32(i)}
+		cur[e.V]++
+	}
+	if len(d.uAdj) != n {
+		d.uAdj = make([][]unreliableArc, n)
+	}
+	for u := 0; u < n; u++ {
+		d.uAdj[u] = buf[off[u]:off[u+1]:off[u+1]]
+	}
+	if cap(d.uCSR.Peers) < uTotal {
+		d.uCSR.Peers = make([]int32, uTotal)
+		d.uCSR.Edges = make([]int32, uTotal)
+	}
+	d.uCSR.Peers = d.uCSR.Peers[:uTotal]
+	d.uCSR.Edges = d.uCSR.Edges[:uTotal]
+	for i, a := range buf {
+		d.uCSR.Peers[i] = a.peer
+		d.uCSR.Edges[i] = a.edge
+	}
 }
 
 // N returns the number of vertices.

@@ -1,0 +1,299 @@
+// This file implements E-CHURN, the robustness experiment: how gracefully
+// each contender's ack latency, progress, reliability and goodput degrade
+// as node churn rises. Every contender at a given churn rate faces the
+// *identical* fault schedule — the plan is compiled from (seed, rate)
+// alone, before any run — so the degradation curves differ only in the
+// protocols, never in the faults. Runs use the sequential driver, so one
+// invocation is deterministic across GOMAXPROCS settings.
+
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/churn"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/geo"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E-CHURN", Claim: "robustness under node churn: degradation vs fault rate on identical schedules", Run: runChurnExp})
+}
+
+// ChurnRow is one (churn rate, algorithm) measurement. It carries the
+// comparison metrics plus the fault-load telemetry of the schedule the run
+// faced. JSON field names are the stable schema documented in
+// docs/EXPERIMENTS.md (lbcast-churn/v1).
+type ChurnRow struct {
+	ComparisonRow
+	// Load is the churn intensity in protocol-relative units: expected
+	// crashes per node per ack window (half the round budget) of the
+	// slowest contender. The sweep's independent variable.
+	Load float64 `json:"crashes_per_ack_window"`
+	// CrashRate is the resulting per-node per-round crash probability.
+	CrashRate float64 `json:"crash_rate"`
+	// LeaveRate is the per-node per-round departure probability.
+	LeaveRate float64 `json:"leave_rate"`
+	// Crashes/Leaves/Joins/Recovers count the lifecycle events applied.
+	Crashes  int `json:"crashes"`
+	Recovers int `json:"recovers"`
+	Leaves   int `json:"leaves"`
+	Joins    int `json:"joins"`
+	// DownFraction is the fraction of node-rounds spent down or absent —
+	// the availability loss the protocols had to absorb.
+	DownFraction float64 `json:"down_fraction"`
+}
+
+// ChurnReport is the JSON document produced by `lbsim -exp churn`.
+type ChurnReport struct {
+	// Schema identifies the document layout; bump on incompatible change.
+	Schema string `json:"schema"`
+	// Seed is the experiment seed all topologies and plans derived from.
+	Seed uint64 `json:"seed"`
+	// Size is the experiment scale the point counts were picked at.
+	Size string `json:"size"`
+	// Rows holds one entry per (rate, algorithm), rates ascending — the
+	// degradation curve of each algorithm read along its rate column.
+	Rows []ChurnRow `json:"rows"`
+	// Notes records calibration context for human readers.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *ChurnReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// churnLoads is the sweep, in protocol-relative units: the expected number
+// of crashes per node per acknowledgement window of the slowest contender
+// (half the round budget). A churn-free control point, then three loads
+// spanning light (most ack windows survive a sender's uptime) to heavy
+// (the slowest contender can essentially never finish a window between
+// its sender's crashes, while fast baselines still can).
+var churnLoads = []float64{0, 0.25, 1, 4}
+
+// RunChurn executes the churn matrix: one constant-density geometric
+// topology per size, and for every churn rate one Poisson fault plan that
+// every contender replays verbatim. The dual graph is rebuilt per run
+// (leave/join patches mutate it in place); protocol parameters are derived
+// once from the full universe, whose Δ/Δ′ bound every patched subgraph.
+func RunChurn(size Size, seed uint64) (*ChurnReport, error) {
+	n := pick(size, 48, 100, 250)
+	roundsCap := pick(size, 60_000, 150_000, 400_000)
+	const eps = 0.2
+
+	rep := &ChurnReport{
+		Schema: "lbcast-churn/v1",
+		Seed:   seed,
+		Size:   comparisonSizeName(size),
+		Notes: []string{
+			"topology: constant-density random geometric (comparison family), r=1.5, grey-zone links unreliable",
+			"load = expected crashes per node per slowest ack window; identical Poisson fault schedule per load across all contenders",
+			"leave rate = crash rate / 4; outage lengths ≈ 2% (crash) / 4% (leave) of the run",
+			"dual-graph scatter with the oblivious random½ link scheduler; sequential driver (GOMAXPROCS-independent)",
+			"reliability counts receptions among full-universe reliable neighbors: outages erode it by construction",
+			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+		},
+	}
+	for _, load := range churnLoads {
+		rows, err := runChurnPoint(n, seed, load, eps, roundsCap)
+		if err != nil {
+			return nil, fmt.Errorf("exp: churn load=%v: %w", load, err)
+		}
+		rep.Rows = append(rep.Rows, rows...)
+	}
+	return rep, nil
+}
+
+// churnPlanFor compiles the fault schedule for one (n, seed, rate, rounds)
+// point. Pure function: every contender at this point gets this schedule.
+// Outage lengths scale with the run (≈ 2% of it per crash), so the sweep
+// varies fault frequency, not a fixed absolute downtime.
+func churnPlanFor(n int, seed uint64, rate float64, rounds int) (*churn.Plan, error) {
+	if rate == 0 {
+		return churn.FixedScript(nil, nil, nil), nil
+	}
+	downtime := max(20, rounds/50)
+	return churn.Poisson(churn.PoissonConfig{
+		N: n, Rounds: rounds, Seed: seed ^ math.Float64bits(rate),
+		CrashRate:    rate,
+		MeanDowntime: downtime,
+		LeaveRate:    rate / 4,
+		MeanAbsence:  2 * downtime,
+	})
+}
+
+// runChurnPoint runs every contender against the load's fault schedule.
+func runChurnPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]ChurnRow, error) {
+	// Full-universe parameters: build one pristine instance for Δ/Δ′ and
+	// the reliability neighbor sets, then rebuild per run.
+	buildDual := func() (*dualgraph.Dual, error) {
+		side := math.Max(4, math.Sqrt(float64(n)/4))
+		return dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+	}
+	ref, err := buildDual()
+	if err != nil {
+		return nil, err
+	}
+	delta, deltaPrime := ref.Delta(), ref.DeltaPrime()
+	lbParams, err := core.DeriveParams(delta, deltaPrime, ref.R, eps)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the full-universe reliable neighborhoods for the
+	// reliability metric: the per-run duals get patched while running.
+	neigh := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		neigh[u] = append([]int32(nil), ref.G.Neighbors(u)...)
+	}
+	neighFn := func(src int) []int32 { return neigh[src] }
+
+	contenders := []comparisonContender{
+		{"lbalg", "dualgraph", lbParams.TAckBound(), func(int) core.Service {
+			return core.NewLBAlg(lbParams)
+		}},
+		{"contention-uniform", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+			return baseline.NewContention(baseline.ContentionParams{
+				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
+		}},
+		{"decay", "dualgraph", baseline.DecayAckRounds(delta, eps), func(int) core.Service {
+			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
+		}},
+	}
+	rounds := 0
+	for _, c := range contenders {
+		if b := 2*c.ackRounds + 64; b > rounds {
+			rounds = b
+		}
+	}
+	if rounds > roundsCap {
+		rounds = roundsCap
+	}
+	senders := 4
+	if senders > n/4 {
+		senders = max(1, n/4)
+	}
+
+	// Translate the protocol-relative load into a per-round rate: the ack
+	// window is half the budget (rounds = 2 windows + slack).
+	rate := load / float64(rounds/2)
+	if load == 0 {
+		rate = 0
+	}
+	plan, err := churnPlanFor(n, seed, rate, rounds)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	planStats := plan.Stats(n, rounds)
+
+	rows := make([]ChurnRow, 0, len(contenders))
+	for ci, c := range contenders {
+		d, err := buildDual()
+		if err != nil {
+			return nil, err
+		}
+		svcs := make([]core.Service, n)
+		procs := make([]sim.Process, n)
+		for u := 0; u < n; u++ {
+			svcs[u] = c.build(u)
+			procs[u] = svcs[u]
+		}
+		env := core.NewSaturatingEnv(svcs, senderRange(senders))
+		inj, err := churn.NewInjector(churn.InjectorConfig{
+			Plan: plan, Dual: d, Index: geo.BuildGridIndex(d.Emb),
+			Policy: dualgraph.GreyUnreliable,
+			Restart: func(u int) sim.Process {
+				svcs[u] = c.build(u)
+				return svcs[u]
+			},
+			Inner: env,
+			OnRestart: func(u int, _ sim.Process) {
+				// A restarted sender lost its in-flight broadcast and its
+				// ack hook; re-arm it so saturation resumes.
+				env.Rearm(u)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		if err := inj.Detach(); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		engine, err := sim.New(sim.Config{Dual: d, Procs: procs, Env: inj,
+			Sched: sched.NewRandom(0.5, seed), Seed: seed + uint64(ci)*1_000_003})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		inj.Attach(engine)
+		engine.Run(rounds)
+		if err := inj.Err(); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: patched dual invalid after run: %w", c.name, err)
+		}
+
+		row := ChurnRow{
+			ComparisonRow: summarizeComparisonRun(engine.Trace(), rounds, neighFn),
+			Load:          load,
+			CrashRate:     rate,
+			LeaveRate:     rate / 4,
+			Crashes:       planStats.Crashes,
+			Recovers:      planStats.Recovers,
+			Leaves:        planStats.Leaves,
+			Joins:         planStats.Joins,
+		}
+		row.DownFraction = float64(planStats.DownNodeRounds) / (float64(n) * float64(rounds))
+		row.Topology = "sweep-geometric"
+		row.N = n
+		row.Algorithm = c.name
+		row.Model = "dualgraph"
+		row.Senders = senders
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ChurnTable renders a churn report as a stats table for terminal output.
+func ChurnTable(rep *ChurnReport) *stats.Table {
+	tbl := &stats.Table{
+		Title: "E-CHURN: degradation under node churn (identical fault schedules)",
+		Columns: []string{"load", "down frac", "algorithm", "rounds", "acks",
+			"reliability", "ack p50", "1st-recv p50", "msgs/ack", "deliv/round"},
+		Notes: rep.Notes,
+	}
+	for _, r := range rep.Rows {
+		tbl.AddRow(fmt.Sprintf("%.2f", r.Load), fmt.Sprintf("%.3f", r.DownFraction),
+			r.Algorithm, r.Rounds, r.Acks, fmt.Sprintf("%.3f", r.Reliability),
+			r.AckP50, r.FirstRecvP50, stats.FormatFloat(r.MsgsPerAck),
+			stats.FormatFloat(r.DeliveriesPerRound))
+	}
+	return tbl
+}
+
+// runChurnExp adapts RunChurn to the experiment registry.
+func runChurnExp(size Size, seed uint64) (*Result, error) {
+	rep, err := RunChurn(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "E-CHURN",
+		Claim:  "robustness: ack/progress/reliability/goodput degradation under churn",
+		Tables: []*stats.Table{ChurnTable(rep)},
+	}, nil
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestRunChurnSmall runs the E-CHURN matrix at CI scale and checks the
+// report's structural invariants: the full (rate × contender) grid is
+// present, the control point is churn-free, fault load grows with the
+// rate, every contender at a rate faces the identical schedule, and the
+// whole report is deterministic — including under a different GOMAXPROCS,
+// since the matrix runs on the sequential driver.
+func TestRunChurnSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-contender churn matrix")
+	}
+	rep, err := RunChurn(SizeSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "lbcast-churn/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	perLoad := make(map[float64][]ChurnRow)
+	for _, row := range rep.Rows {
+		perLoad[row.Load] = append(perLoad[row.Load], row)
+	}
+	if len(perLoad) != len(churnLoads) {
+		t.Fatalf("%d distinct loads, want %d", len(perLoad), len(churnLoads))
+	}
+	prevDown := -1.0
+	for _, load := range churnLoads {
+		rows := perLoad[load]
+		if len(rows) != 3 {
+			t.Fatalf("load %v has %d rows, want 3 contenders", load, len(rows))
+		}
+		for _, row := range rows[1:] {
+			// Identical schedules: the fault telemetry must match the first
+			// contender's exactly.
+			if row.Crashes != rows[0].Crashes || row.Leaves != rows[0].Leaves ||
+				row.DownFraction != rows[0].DownFraction {
+				t.Fatalf("load %v: contender %s saw different fault load than %s",
+					load, row.Algorithm, rows[0].Algorithm)
+			}
+		}
+		if load == 0 {
+			if rows[0].Crashes != 0 || rows[0].DownFraction != 0 {
+				t.Fatalf("control point has faults: %+v", rows[0])
+			}
+			for _, row := range rows {
+				// Without churn every contender must complete broadcasts.
+				if row.Acks == 0 {
+					t.Fatalf("control point %s: no broadcast ever acked", row.Algorithm)
+				}
+			}
+		} else if rows[0].Crashes == 0 {
+			t.Fatalf("load %v produced no crashes over %d rounds", load, rows[0].Rounds)
+		}
+		if rows[0].DownFraction < prevDown {
+			t.Fatalf("down fraction not nondecreasing in load: %v after %v", rows[0].DownFraction, prevDown)
+		}
+		prevDown = rows[0].DownFraction
+		// Under churn the slowest contender may legitimately starve, but
+		// the point is only meaningful if someone still completes work.
+		anyAcks := false
+		for _, row := range rows {
+			anyAcks = anyAcks || row.Acks > 0
+		}
+		if !anyAcks {
+			t.Fatalf("load %v: no contender acked a single broadcast", load)
+		}
+	}
+
+	// Determinism across GOMAXPROCS: the sequential driver must make the
+	// report independent of it.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	again, err := RunChurn(SizeSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("E-CHURN report not byte-identical across GOMAXPROCS settings")
+	}
+}

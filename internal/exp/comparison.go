@@ -270,53 +270,72 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 // summarizeComparisonRun extracts the comparison metrics from one trace in
 // a single pass over the events. neigh maps a source node to the neighbor
 // set its broadcasts must reach for the reliability metric.
+//
+// Message ids are tracked per incarnation: a restarted sender (churn's
+// Recover/Join) begins a fresh protocol instance whose sequence counter
+// restarts, so an id can be re-broadcast later in the trace. Each EvBcast
+// closes out the previous incarnation's statistics and starts a new
+// window; stray receptions of a prior incarnation's copies (still in
+// flight when the id was re-broadcast) are dropped rather than
+// mis-attributed.
 func summarizeComparisonRun(tr *sim.Trace, rounds int, neigh func(int) []int32) ComparisonRow {
-	bcastRound := make(map[sim.MsgID]int)
-	firstRecv := make(map[sim.MsgID]int)
-	ackRound := make(map[sim.MsgID]int)
-	reached := make(map[sim.MsgID]map[int32]struct{})
-	var ackLat []int
+	type msgState struct {
+		bcast     int
+		firstRecv int // -1 until first reception
+		ackRound  int // -1 until acked
+		reached   map[int32]struct{}
+	}
+	states := make(map[sim.MsgID]*msgState)
+	var ackLat, recvLat []int
+	reliable, acked := 0, 0
+	flush := func(id sim.MsgID, s *msgState) {
+		if s.firstRecv >= 0 {
+			recvLat = append(recvLat, s.firstRecv-s.bcast)
+		}
+		if s.ackRound >= 0 {
+			acked++
+			if len(s.reached) == len(neigh(id.Src())) {
+				reliable++
+			}
+		}
+	}
 	for ev := range tr.Events() {
 		switch ev.Kind {
 		case sim.EvBcast:
-			bcastRound[ev.MsgID] = ev.Round
-		case sim.EvAck:
-			if b, ok := bcastRound[ev.MsgID]; ok {
-				ackLat = append(ackLat, ev.Round-b)
+			if s, ok := states[ev.MsgID]; ok {
+				flush(ev.MsgID, s)
 			}
-			ackRound[ev.MsgID] = ev.Round
+			states[ev.MsgID] = &msgState{bcast: ev.Round, firstRecv: -1, ackRound: -1}
+		case sim.EvAck:
+			if s, ok := states[ev.MsgID]; ok && s.ackRound < 0 {
+				s.ackRound = ev.Round
+				ackLat = append(ackLat, ev.Round-s.bcast)
+			}
 		case sim.EvRecv:
-			if _, seen := firstRecv[ev.MsgID]; !seen {
-				firstRecv[ev.MsgID] = ev.Round
+			s, ok := states[ev.MsgID]
+			if !ok || ev.Round < s.bcast {
+				continue
+			}
+			if s.firstRecv < 0 {
+				s.firstRecv = ev.Round
 			}
 			// A reception in the ack round itself still counts toward
 			// reliability: the trace drains per-round events in node-id
 			// order, so the sender's EvAck can precede a same-round EvRecv
 			// without the reception being late. Strictly later rounds do
-			// not count, checked in the final tally below.
+			// not count.
 			if nl := neigh(ev.MsgID.Src()); isNeighbor(nl, int32(ev.Node)) {
-				if a, acked := ackRound[ev.MsgID]; !acked || ev.Round <= a {
-					set := reached[ev.MsgID]
-					if set == nil {
-						set = make(map[int32]struct{})
-						reached[ev.MsgID] = set
+				if s.ackRound < 0 || ev.Round <= s.ackRound {
+					if s.reached == nil {
+						s.reached = make(map[int32]struct{})
 					}
-					set[int32(ev.Node)] = struct{}{}
+					s.reached[int32(ev.Node)] = struct{}{}
 				}
 			}
 		}
 	}
-	reliable, acked := 0, len(ackRound)
-	for id := range ackRound {
-		if len(reached[id]) == len(neigh(id.Src())) {
-			reliable++
-		}
-	}
-	var recvLat []int
-	for id, r := range firstRecv {
-		if b, ok := bcastRound[id]; ok {
-			recvLat = append(recvLat, r-b)
-		}
+	for id, s := range states {
+		flush(id, s)
 	}
 	row := ComparisonRow{
 		Rounds:        rounds,

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"E-LOCAL", "E-REGION", "E-AMAC",
 		"E-ABL-FREQ", "E-CONST",
 		"E-MMB", "E-CONSENSUS",
-		"E-COMPARE", "E-SINR",
+		"E-COMPARE", "E-SINR", "E-CHURN",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -288,16 +288,37 @@ func NewAdaptive(d *dualgraph.Dual, target int) (*Adaptive, error) {
 	if target < 0 || target >= d.N() {
 		return nil, fmt.Errorf("sched: target %d out of range [0,%d)", target, d.N())
 	}
-	a := &Adaptive{
-		target:       target,
-		reliableNbrs: d.G.Neighbors(target),
-		chosenEdge:   -1,
+	a := &Adaptive{target: target, chosenEdge: -1}
+	a.rebind(d)
+	return a, nil
+}
+
+// Rebind re-derives the adversary's cached view of the dual graph — the
+// target's reliable neighborhood and unreliable incidence — after the graph
+// was patched (dualgraph.Dual.PatchNode). The caches hold unreliable edge
+// indices, which a patch renumbers, and the neighbor slice aliases adjacency
+// storage a patch splices in place, so an unrebound Adaptive would replay
+// stale adversary state against the new topology. Any in-flight round
+// observation is discarded; the engine re-observes before the next query.
+func (a *Adaptive) Rebind(d *dualgraph.Dual) error {
+	if a.target >= d.N() {
+		return fmt.Errorf("sched: rebind target %d out of range [0,%d)", a.target, d.N())
 	}
-	for _, arc := range d.UnreliableIncidence(target) {
+	a.rebind(d)
+	return nil
+}
+
+func (a *Adaptive) rebind(d *dualgraph.Dual) {
+	// Copy, do not alias: PatchNode edits adjacency lists in place, and a
+	// cache that silently tracked some splices but not the edge renumbering
+	// would be worse than a stale snapshot.
+	a.reliableNbrs = append(a.reliableNbrs[:0], d.G.Neighbors(a.target)...)
+	a.incident = a.incident[:0]
+	for _, arc := range d.UnreliableIncidence(a.target) {
 		a.incident = append(a.incident, incidentArc{edge: int(arc.EdgeIndex()), peer: arc.Peer()})
 	}
 	sort.Slice(a.incident, func(i, j int) bool { return a.incident[i].edge < a.incident[j].edge })
-	return a, nil
+	a.curRound, a.chosenEdge = 0, -1
 }
 
 // ObserveTransmitters implements sim.TransmitterAware: the engine reveals

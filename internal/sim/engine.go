@@ -68,8 +68,14 @@ const (
 )
 
 // parallelScatterMinTx is the transmitter count below which the sharded
-// parallel scatter is not worth its fan-out and merge overhead.
-const parallelScatterMinTx = 16
+// parallel scatter is not worth its fan-out and merge overhead. Derived
+// from BenchmarkPoolDispatch: one pool fan-out costs ≈ 1.1µs at 2 workers
+// and ≈ 2.5µs at 4, while a transmitter's scatter work is ≈ 100–200ns at
+// typical degrees (Δ′ ≈ 20–40), so the parallel saving (1−1/w)·tx·cost only
+// clears the dispatch-plus-merge bar from roughly 25–30 transmitters at 4
+// workers (≈ 15 at 2). The threshold only picks the execution strategy —
+// the deterministic shard merge keeps traces byte-identical either way.
+const parallelScatterMinTx = 32
 
 // scatterShard is one worker's private reception state for the parallel
 // scatter: counts, first-transmitter and round stamps over all nodes, plus
@@ -98,6 +104,17 @@ type Engine struct {
 
 	round int // last executed round; rounds are 1-indexed as in the paper
 
+	// Lifecycle state (see lifecycle.go). down is nil until the first
+	// SetDown, so churn-free executions take one nil-check per node and stay
+	// byte-identical to pre-lifecycle traces. seed/delta/deltaPrime are
+	// retained from New so ReplaceProc can initialise restarted processes;
+	// incarn salts each restart's RNG stream away from its predecessor's.
+	down   []bool
+	incarn []uint32
+	seed   uint64
+	delta  int
+	deltaP int
+
 	// Flattened topology (shared with dual, read-only): the scatter kernel
 	// walks these instead of per-node adjacency slices.
 	gCSR dualgraph.CSR
@@ -116,9 +133,10 @@ type Engine struct {
 	rxFrom   []int32
 	recs     []nodeRecorder
 
-	maxUDeg int     // max unreliable degree, sizes IncludedFor scratch
-	incBuf  []bool  // sequential-path IncludedFor scratch
-	recvOut []int32 // ReceptionModel per-node outcome scratch
+	maxUDeg int                   // max unreliable degree, sizes IncludedFor scratch
+	incBuf  []bool                // sequential-path IncludedFor scratch
+	recvOut []int32               // ReceptionModel per-node outcome scratch
+	sharded ShardedReceptionModel // non-nil when recv supports range resolution
 
 	// touched lists the nodes reached by this round's scatter (stamp moved
 	// to the current round), so stats run over O(Σ deg) entries, not all n.
@@ -142,11 +160,13 @@ type Engine struct {
 	txFn, rxFn    func(u int)
 	poolNodeFn    func(w int)
 	poolScatterFn func(w int)
+	poolResolveFn func(w int)
 	poolTask      func(u int)
 	poolChunk     int
 	poolN         int
 	scatterChunk  int
 	scatterMode   inclusionMode
+	resolveChunk  int
 
 	// dirty is the set of nodes with buffered recorder events since the
 	// last drain: dirtyIdx[:dirtyLen] holds their indices in arbitrary
@@ -210,9 +230,13 @@ func New(cfg Config) (*Engine, error) {
 		rxFrom:   make([]int32, n),
 		recs:     make([]nodeRecorder, n),
 	}
+	e.seed = cfg.Seed
 	if cfg.Reception != nil {
 		e.recv = cfg.Reception
 		e.recvOut = make([]int32, n)
+		if s, ok := cfg.Reception.(ShardedReceptionModel); ok {
+			e.sharded = s
+		}
 	}
 	for u := 0; u < n; u++ {
 		if d := int(e.uCSR.Off[u+1] - e.uCSR.Off[u]); d > e.maxUDeg {
@@ -238,9 +262,7 @@ func New(cfg Config) (*Engine, error) {
 		e.recs[u].eng = e
 		e.recs[u].node = int32(u)
 	}
-	e.txFn = func(u int) {
-		e.payloads[u], e.transmit[u] = e.procs[u].Transmit(e.round)
-	}
+	e.txFn = e.stepTx
 	e.rxFn = e.deliver
 	e.poolNodeFn = func(w int) {
 		lo := w * e.poolChunk
@@ -259,7 +281,15 @@ func New(cfg Config) (*Engine, error) {
 		e.scatterInto(e.round, e.scatterMode, e.txList[lo:hi],
 			sh.count, sh.from, sh.stamp, &sh.touched, sh.incBuf)
 	}
+	e.poolResolveFn = func(w int) {
+		lo := w * e.resolveChunk
+		hi := min(lo+e.resolveChunk, len(e.procs))
+		if lo < hi {
+			e.sharded.ResolveRange(e.round, e.txList, e.recvOut, lo, hi)
+		}
+	}
 	delta, deltaPrime := cfg.Dual.Delta(), cfg.Dual.DeltaPrime()
+	e.delta, e.deltaP = delta, deltaPrime
 	for u := 0; u < n; u++ {
 		env := &NodeEnv{
 			ID:         u,
@@ -305,7 +335,7 @@ func (e *Engine) Step() {
 	switch e.driver {
 	case DriverSequential:
 		for u := range e.procs {
-			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(t)
+			e.stepTx(u)
 		}
 	case DriverWorkerPool:
 		e.parallelNodes(e.txFn)
@@ -414,7 +444,7 @@ func (e *Engine) finishRound(t int) {
 	txBefore, delBefore, colBefore := e.trace.Transmissions, e.trace.Deliveries, e.trace.Collisions
 	e.trace.Transmissions += len(e.txList)
 	for _, u := range e.touched {
-		if e.transmit[u] {
+		if e.transmit[u] || (e.down != nil && e.down[u]) {
 			continue
 		}
 		if e.rxCount[u] == 1 {
@@ -558,10 +588,15 @@ func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 // leaves the node untouched.
 func (e *Engine) resolveModel(t int) {
 	e.touched = e.touched[:0]
-	e.recv.Resolve(t, e.txList, e.recvOut)
+	if e.sharded != nil && e.driver == DriverWorkerPool && e.wrk > 1 &&
+		len(e.procs) >= parallelResolveMinListeners && e.sharded.PrepareRound(t, e.txList) {
+		e.resolveSharded()
+	} else {
+		e.recv.Resolve(t, e.txList, e.recvOut)
+	}
 	t32 := int32(t)
 	for u, v := range e.recvOut {
-		if e.transmit[u] {
+		if e.transmit[u] || (e.down != nil && e.down[u]) {
 			continue
 		}
 		switch {
@@ -598,6 +633,9 @@ func (e *Engine) ensureShards(workers int) {
 // listeners, collision victims — gets ⊥. Every field it touches is indexed
 // by u, so drivers may run delivers concurrently.
 func (e *Engine) deliver(u int) {
+	if e.down != nil && e.down[u] {
+		return // a crashed node's process does not run, not even for ⊥
+	}
 	t := e.round
 	if !e.transmit[u] && e.rxStamp[u] == int32(t) && e.rxCount[u] == 1 {
 		from := int(e.rxFrom[u])
@@ -712,7 +750,7 @@ func (e *Engine) nodeLoop(u int) {
 	for cmd := range e.nodeCmd[u] {
 		switch cmd {
 		case cmdTransmit:
-			e.payloads[u], e.transmit[u] = e.procs[u].Transmit(e.round)
+			e.stepTx(u)
 		case cmdReceive:
 			e.deliver(u)
 		case cmdStop:

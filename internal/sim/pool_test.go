@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -79,4 +80,23 @@ func TestWorkerPoolCloseIdempotent(t *testing.T) {
 	}
 	// Close before any round (pool never started).
 	mk(DriverWorkerPool).Close()
+}
+
+// BenchmarkPoolDispatch measures the fixed cost of one pool.run fan-out with
+// a trivial body — the dispatch-plus-join overhead a sharded phase must
+// amortise. parallelScatterMinTx is derived from this number: sharding pays
+// off only when the sequential scatter work it splits exceeds roughly
+// workers × this latency.
+func BenchmarkPoolDispatch(b *testing.B) {
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := newWorkerPool(workers)
+			defer p.stop()
+			fn := func(w int) {}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.run(workers, fn)
+			}
+		})
+	}
 }

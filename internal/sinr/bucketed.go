@@ -81,10 +81,14 @@ func (m *Model) invPowSq(d2 float64) float64 {
 }
 
 // bucketScratch is the reusable per-round state of the bucketed resolver.
+// After prepareBuckets it is read-only for the rest of the round, which is
+// what lets per-listener resolution shard across engine workers (see
+// PrepareRound/ResolveRange in parallel.go).
 type bucketScratch struct {
 	cellPow  []float64 // per region: total power of this round's transmitters
 	cellTx   [][]int32 // per region: this round's transmitters, ascending
 	occupied []int32   // regions holding transmitters this round, in bucketing order
+	totalPow float64   // total power of this round's transmitters
 }
 
 func newBucketScratch(gi *geo.GridIndex) *bucketScratch {
@@ -94,16 +98,16 @@ func newBucketScratch(gi *geo.GridIndex) *bucketScratch {
 	}
 }
 
-// resolveBucketed resolves one round through the region buckets. It assumes
-// m.grid is non-nil; callers gate on that.
-func (m *Model) resolveBucketed(txs []int32, out []int32) {
+// prepareBuckets fills the region buckets for one round's transmitter set.
+// It assumes m.grid is non-nil; callers gate on that.
+func (m *Model) prepareBuckets(txs []int32) {
 	s := m.bucket
 	for _, ri := range s.occupied {
 		s.cellPow[ri] = 0
 		s.cellTx[ri] = s.cellTx[ri][:0]
 	}
 	s.occupied = s.occupied[:0]
-	totalPow := 0.0
+	s.totalPow = 0
 	for _, w := range txs {
 		ri := m.grid.OfVertex(int(w))
 		if len(s.cellTx[ri]) == 0 {
@@ -111,10 +115,15 @@ func (m *Model) resolveBucketed(txs []int32, out []int32) {
 		}
 		s.cellTx[ri] = append(s.cellTx[ri], w)
 		s.cellPow[ri] += m.power[w]
-		totalPow += m.power[w]
+		s.totalPow += m.power[w]
 	}
+}
+
+// resolveBucketed resolves one round through the region buckets.
+func (m *Model) resolveBucketed(txs []int32, out []int32) {
+	m.prepareBuckets(txs)
 	for u := range out {
-		out[u] = m.resolveOneBucketed(u, len(txs), totalPow)
+		out[u] = m.resolveOneBucketed(u, len(txs), m.bucket.totalPow)
 	}
 }
 

@@ -117,6 +117,9 @@ type Model struct {
 	// squared distances (see Model.invPowSq).
 	powMode  int
 	minDist2 float64
+	// roundBucketed records which path PrepareRound chose for the current
+	// round (see parallel.go).
+	roundBucketed bool
 }
 
 // NewModel validates the parameters and resolves the power assignment over
