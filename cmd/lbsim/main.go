@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"lbcast/internal/chaos"
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/exp"
@@ -28,13 +29,15 @@ func main() {
 		senders   = flag.Int("senders", 3, "number of saturated senders")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		traceFile = flag.String("trace", "", "write the execution trace as JSON to this file")
-		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison|churn")
+		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison|churn|chaos")
 		sizeFlag  = flag.String("size", "small", "scale for -exp runs: small|medium|full")
-		outFile   = flag.String("out", "", "JSON output path for -exp runs (default comparison.json / churn.json)")
+		outFile   = flag.String("out", "", "JSON output path for -exp runs (default <exp>.json)")
+		reproFile = flag.String("repro", "", "with -exp chaos: replay this lbcast-chaos/v1 scenario instead of searching")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	if *expFlag != "" {
-		if err := runExp(*expFlag, *sizeFlag, *seed, *outFile); err != nil {
+		if err := runExp(*expFlag, *sizeFlag, *seed, *outFile, *reproFile); err != nil {
 			fmt.Fprintln(os.Stderr, "lbsim:", err)
 			os.Exit(1)
 		}
@@ -46,11 +49,50 @@ func main() {
 	}
 }
 
+// usage renders the synopsis of every operating mode ahead of the flag
+// list, so `lbsim -help` documents the -exp subsystems and their output
+// schemas (the lbbench -help pattern).
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `lbsim runs the local broadcast layer and its experiment subsystems.
+
+Modes:
+  lbsim [-topo T] [-n N] [-sched S] [-phases P] [-senders K] [-seed N] [-trace out.json]
+      single-configuration run: LBAlg over the chosen topology/scheduler,
+      post-hoc lbspec.Check report on stdout; -trace writes the execution
+      trace (lbcast-trace/v1)
+  lbsim -exp comparison [-size small|medium|full] [-seed N] [-out comparison.json]
+      E-COMPARE matrix: LBAlg vs SINR local broadcast vs contention
+      baselines across n (lbcast-comparison/v1)
+  lbsim -exp churn [-size ...] [-seed N] [-out churn.json]
+      E-CHURN matrix: the same contenders degrading under identical Poisson
+      fault schedules (lbcast-churn/v1)
+  lbsim -exp chaos [-size ...] [-seed N] [-out chaos.json]
+      E-CHAOS: bounded randomized scenario search with the online invariant
+      monitor attached, plus a seeded-fault shrinking canary
+      (lbcast-chaos-report/v1; scenarios embed lbcast-chaos/v1). A real
+      violation writes its minimized scenario to repro.json and exits 1
+  lbsim -exp chaos -repro repro.json
+      deterministically replay a minimized lbcast-chaos/v1 scenario and
+      print its monitor verdict
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 // runExp dispatches the -exp subsystems: the comparison matrix (LBAlg vs
-// the SINR local broadcast layer vs the GHLN contention baselines) and the
+// the SINR local broadcast layer vs the GHLN contention baselines), the
 // churn matrix (the same contenders degrading under identical Poisson
-// fault schedules). Each renders a table and writes machine-readable JSON.
-func runExp(name, sizeName string, seed uint64, outFile string) error {
+// fault schedules), and the chaos search (randomized scenarios with the
+// online monitor attached). Each renders a table and writes
+// machine-readable JSON.
+func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error {
+	if reproFile != "" {
+		if name != "chaos" {
+			return fmt.Errorf("-repro only applies to -exp chaos")
+		}
+		return replayRepro(reproFile)
+	}
 	size, err := exp.ParseSize(sizeName)
 	if err != nil {
 		return err
@@ -59,6 +101,7 @@ func runExp(name, sizeName string, seed uint64, outFile string) error {
 		tbl      *stats.Table
 		writeFn  func(io.Writer) error
 		rowCount int
+		violated *chaos.Scenario
 	)
 	switch name {
 	case "comparison":
@@ -79,8 +122,18 @@ func runExp(name, sizeName string, seed uint64, outFile string) error {
 		if outFile == "" {
 			outFile = "churn.json"
 		}
+	case "chaos":
+		rep, err := exp.RunChaos(size, seed)
+		if err != nil {
+			return err
+		}
+		tbl, writeFn, rowCount = exp.ChaosTable(rep), rep.WriteJSON, rep.Trials
+		violated = rep.Violation
+		if outFile == "" {
+			outFile = "chaos.json"
+		}
 	default:
-		return fmt.Errorf("unknown -exp %q (supported: comparison, churn)", name)
+		return fmt.Errorf("unknown -exp %q (supported: comparison, churn, chaos)", name)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
@@ -97,7 +150,53 @@ func runExp(name, sizeName string, seed uint64, outFile string) error {
 		return err
 	}
 	fmt.Printf("%s table written to %s (%d rows)\n", name, outFile, rowCount)
+	if violated != nil {
+		if err := violated.WriteFile("repro.json"); err != nil {
+			return err
+		}
+		return fmt.Errorf("chaos search found a real invariant violation; minimized scenario written to repro.json (replay: lbsim -exp chaos -repro repro.json)")
+	}
 	return nil
+}
+
+// replayRepro deterministically re-executes a minimized lbcast-chaos/v1
+// scenario and prints the monitor verdict.
+func replayRepro(path string) error {
+	sc, err := chaos.ReadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := chaos.Run(sc, chaos.RunOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: seed=%d n=%d phases=%d model=%s sched=%s senders=%d churn-events=%d\n",
+		sc.Seed, sc.N, sc.Phases, sc.Model, sc.Sched, sc.Senders, planEventCount(sc))
+	if sc.Fault != nil {
+		fmt.Printf("seeded fault: %s @ node %d\n", sc.Fault.Kind, sc.Fault.Node)
+	}
+	fmt.Printf("ran %d/%d rounds (phase length %d)\n", res.Rounds, res.Planned, res.PhaseLen)
+	if res.Total == 0 {
+		fmt.Println("verdict: clean — the scenario no longer violates")
+		return nil
+	}
+	fmt.Printf("verdict: %d violation(s)\n", res.Total)
+	for i, v := range res.Violations {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", res.Total-i)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	return nil
+}
+
+// planEventCount is a nil-safe lifecycle-event count.
+func planEventCount(sc *chaos.Scenario) int {
+	if sc.Plan == nil {
+		return 0
+	}
+	return len(sc.Plan.Events)
 }
 
 func run(topo string, n int, r, eps float64, schedName string, schedP float64, phases, senders int, seed uint64, traceFile string) error {

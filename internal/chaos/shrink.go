@@ -1,0 +1,283 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"lbcast/internal/churn"
+)
+
+// ShrinkStats summarizes one shrink.
+type ShrinkStats struct {
+	// Invariant is the violation class the shrink preserved (the first
+	// violation of the original run).
+	Invariant string `json:"invariant"`
+	// Replays counts scenario executions the search spent.
+	Replays int `json:"replays"`
+	// FromN/FromEvents/FromPhases and ToN/ToEvents/ToPhases summarize the
+	// reduction.
+	FromN      int `json:"from_n"`
+	FromEvents int `json:"from_events"`
+	FromPhases int `json:"from_phases"`
+	ToN        int `json:"to_n"`
+	ToEvents   int `json:"to_events"`
+	ToPhases   int `json:"to_phases"`
+}
+
+// clone deep-copies a scenario so candidate edits never alias the original.
+func clone(sc *Scenario) *Scenario {
+	out := *sc
+	if sc.Fault != nil {
+		f := *sc.Fault
+		out.Fault = &f
+	}
+	if sc.Plan != nil {
+		p := &churn.Plan{
+			Events:        append([]churn.Event(nil), sc.Plan.Events...),
+			Fades:         append([]churn.Fade(nil), sc.Plan.Fades...),
+			InitialAbsent: append([]int(nil), sc.Plan.InitialAbsent...),
+		}
+		out.Plan = p
+	}
+	return &out
+}
+
+// planEvents returns the scenario's lifecycle events (nil-safe).
+func planEvents(sc *Scenario) []churn.Event {
+	if sc.Plan == nil {
+		return nil
+	}
+	return sc.Plan.Events
+}
+
+// withEvents replaces the scenario's lifecycle schedule, dropping the Plan
+// entirely when nothing remains.
+func withEvents(sc *Scenario, evs []churn.Event) *Scenario {
+	out := clone(sc)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Round != evs[j].Round {
+			return evs[i].Round < evs[j].Round
+		}
+		return evs[i].Node < evs[j].Node
+	})
+	if out.Plan == nil {
+		out.Plan = &churn.Plan{}
+	}
+	out.Plan.Events = evs
+	if out.Plan.Empty() {
+		out.Plan = nil
+	}
+	return out
+}
+
+// withN rescales the scenario to n nodes: the topology regenerates from the
+// same seed, out-of-range plan events and absent nodes drop, and the sender
+// set and adversary target clamp.
+func withN(sc *Scenario, n int) *Scenario {
+	out := clone(sc)
+	out.N = n
+	if out.Senders > n {
+		out.Senders = n
+	}
+	if out.Sched == SchedAdaptive && out.AdaptTarget >= n {
+		out.AdaptTarget = n - 1
+	}
+	if out.Plan != nil {
+		kept := out.Plan.Events[:0]
+		for _, ev := range out.Plan.Events {
+			if ev.Node < n {
+				kept = append(kept, ev)
+			}
+		}
+		out.Plan.Events = kept
+		absent := out.Plan.InitialAbsent[:0]
+		for _, u := range out.Plan.InitialAbsent {
+			if u < n {
+				absent = append(absent, u)
+			}
+		}
+		out.Plan.InitialAbsent = absent
+		if out.Plan.Empty() {
+			out.Plan = nil
+		}
+	}
+	return out
+}
+
+// unit is an atomic shrink step of the churn schedule: a down event paired
+// with the up event that ends its outage (or a lone unpaired event).
+// Removing a whole unit keeps the plan well-formed.
+type unit []churn.Event
+
+// planUnits pairs each Crash/Leave with the next Recover/Join of the same
+// node, in schedule order.
+func planUnits(evs []churn.Event) []unit {
+	open := map[int]int{} // node → index of the open unit
+	var units []unit
+	for _, ev := range evs {
+		switch ev.Kind {
+		case churn.Crash, churn.Leave:
+			units = append(units, unit{ev})
+			open[ev.Node] = len(units) - 1
+		case churn.Recover, churn.Join:
+			if i, ok := open[ev.Node]; ok {
+				units[i] = append(units[i], ev)
+				delete(open, ev.Node)
+			} else {
+				units = append(units, unit{ev})
+			}
+		}
+	}
+	return units
+}
+
+func flatten(units []unit) []churn.Event {
+	var evs []churn.Event
+	for _, u := range units {
+		evs = append(evs, u...)
+	}
+	return evs
+}
+
+// ddmin is Zeller's delta-debugging minimization over shrink units: find a
+// small subset for which test still holds, assuming test(items) does.
+func ddmin(items []unit, test func([]unit) bool) []unit {
+	if len(items) == 0 || test(nil) {
+		return nil
+	}
+	cur := items
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(cur) && !reduced; i += chunk {
+			sub := cur[i:min(i+chunk, len(cur))]
+			if len(sub) < len(cur) && test(sub) {
+				cur, n, reduced = sub, 2, true
+			}
+		}
+		for i := 0; i < len(cur) && !reduced; i += chunk {
+			comp := append(append([]unit(nil), cur[:i]...), cur[min(i+chunk, len(cur)):]...)
+			if len(comp) < len(cur) && test(comp) {
+				cur, n, reduced = comp, max(n-1, 2), true
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return cur
+}
+
+// Shrink minimizes a violating scenario while preserving its violation
+// class (the invariant of the original run's first violation): it drops
+// fade epochs, descends the node-count ladder, delta-debugs the churn
+// schedule, and truncates the round window to the first violating phase.
+// Every candidate is re-executed; the returned scenario reproduces the
+// violation by construction.
+func Shrink(sc *Scenario, opt RunOptions) (*Scenario, *ShrinkStats, error) {
+	base, err := Run(sc, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if base.Total == 0 {
+		return nil, nil, fmt.Errorf("chaos: scenario does not violate; nothing to shrink")
+	}
+	inv := base.Violations[0].Invariant
+	stats := &ShrinkStats{
+		Invariant: inv,
+		FromN:     sc.N, FromEvents: len(planEvents(sc)), FromPhases: sc.Phases,
+	}
+
+	last := base
+	reproduces := func(cand *Scenario) *Result {
+		if cand.Validate() != nil {
+			return nil
+		}
+		stats.Replays++
+		res, err := Run(cand, opt)
+		if err != nil {
+			return nil
+		}
+		for _, v := range res.Violations {
+			if v.Invariant == inv {
+				return res
+			}
+		}
+		return nil
+	}
+
+	cur := clone(sc)
+
+	// Fades first: they are the coarsest knob and removing them simplifies
+	// every later candidate.
+	if cur.Plan != nil && len(cur.Plan.Fades) > 0 {
+		cand := clone(cur)
+		cand.Plan.Fades = nil
+		if cand.Plan.Empty() {
+			cand.Plan = nil
+		}
+		if res := reproduces(cand); res != nil {
+			cur, last = cand, res
+		}
+	}
+
+	// Node ladder, smallest first. Candidates whose regenerated topology
+	// fails to build (disconnected, degenerate Δ) simply don't reproduce.
+	for _, n := range []int{8, 12, 16, 24, 32, 48} {
+		if n >= cur.N {
+			break
+		}
+		cand := withN(cur, n)
+		if res := reproduces(cand); res != nil {
+			cur, last = cand, res
+			break
+		}
+	}
+
+	// Delta-debug the churn schedule in outage units.
+	if units := planUnits(planEvents(cur)); len(units) > 0 {
+		var lastHit *Result
+		kept := ddmin(units, func(sub []unit) bool {
+			res := reproduces(withEvents(cur, flatten(sub)))
+			if res != nil {
+				lastHit = res
+			}
+			return res != nil
+		})
+		cur = withEvents(cur, flatten(kept))
+		if lastHit != nil {
+			last = lastHit
+		}
+	}
+
+	// Truncate the window to the first violating phase.
+	if first := firstOf(last, inv); first > 0 {
+		needed := (first + last.PhaseLen - 1) / last.PhaseLen
+		if needed < cur.Phases {
+			cand := clone(cur)
+			cand.Phases = needed
+			if res := reproduces(cand); res != nil {
+				cur, last = cand, res
+			}
+		}
+	}
+
+	stats.ToN, stats.ToEvents, stats.ToPhases = cur.N, len(planEvents(cur)), cur.Phases
+	return cur, stats, nil
+}
+
+// firstOf returns the round of the earliest retained violation of the given
+// invariant, or 0.
+func firstOf(res *Result, inv string) int {
+	first := 0
+	for _, v := range res.Violations {
+		if v.Invariant == inv && (first == 0 || v.Round < first) {
+			first = v.Round
+		}
+	}
+	return first
+}

@@ -44,6 +44,16 @@ type InjectorConfig struct {
 	// the hook for environments that hold per-node references (e.g.
 	// re-arming a saturating sender, see core.SaturatingEnv.Rearm).
 	OnRestart func(u int, p sim.Process)
+	// OnDown runs after each Crash/Leave silenced a node, with the round
+	// the fault took effect (0 for initially-absent nodes silenced by
+	// Attach) — the hook for liveness consumers such as
+	// lbspec.Monitor.NodeDown.
+	OnDown func(round, node int)
+	// OnUp runs after each Recover/Join brought a node back up, with the
+	// round it took effect. It pairs with OnDown; unlike OnRestart it
+	// carries the round, for consumers tracking incarnations
+	// (lbspec.Monitor.NodeRestarted).
+	OnUp func(round, node int)
 }
 
 // Injector replays a Plan against an engine through the sim.Environment
@@ -108,6 +118,9 @@ func (in *Injector) Attach(e *sim.Engine) {
 	in.eng = e
 	for _, u := range in.cfg.Plan.InitialAbsent {
 		e.SetDown(u, true)
+		if in.cfg.OnDown != nil {
+			in.cfg.OnDown(0, u)
+		}
 	}
 }
 
@@ -122,7 +135,7 @@ func (in *Injector) BeforeRound(t int) {
 	for in.err == nil && in.next < len(in.cfg.Plan.Events) && in.cfg.Plan.Events[in.next].Round <= t {
 		ev := in.cfg.Plan.Events[in.next]
 		in.next++
-		if err := in.apply(ev); err != nil {
+		if err := in.apply(ev, t); err != nil {
 			in.err = fmt.Errorf("churn: %s of node %d in round %d: %w", ev.Kind, ev.Node, t, err)
 		}
 	}
@@ -141,21 +154,28 @@ func (in *Injector) AfterRound(t int) {
 	}
 }
 
-// apply executes one lifecycle event against the engine and dual graph.
-func (in *Injector) apply(ev Event) error {
+// apply executes one lifecycle event against the engine and dual graph; t
+// is the round the event takes effect (passed on to OnDown/OnUp).
+func (in *Injector) apply(ev Event, t int) error {
 	if in.eng == nil {
 		return fmt.Errorf("injector not attached to an engine")
 	}
 	switch ev.Kind {
 	case Crash:
 		in.eng.SetDown(ev.Node, true)
+		if in.cfg.OnDown != nil {
+			in.cfg.OnDown(t, ev.Node)
+		}
 	case Recover:
-		in.restart(ev.Node)
+		in.restart(ev.Node, t)
 	case Leave:
 		if err := in.cfg.Dual.PatchNode(ev.Node, nil, in.cfg.Index, in.cfg.Policy); err != nil {
 			return err
 		}
 		in.eng.SetDown(ev.Node, true)
+		if in.cfg.OnDown != nil {
+			in.cfg.OnDown(t, ev.Node)
+		}
 		return in.resync()
 	case Join:
 		p := in.pos[ev.Node]
@@ -165,7 +185,7 @@ func (in *Injector) apply(ev Event) error {
 		if err := in.resync(); err != nil {
 			return err
 		}
-		in.restart(ev.Node)
+		in.restart(ev.Node, t)
 	default:
 		return fmt.Errorf("unknown event kind %d", ev.Kind)
 	}
@@ -173,12 +193,15 @@ func (in *Injector) apply(ev Event) error {
 }
 
 // restart installs a fresh process at u and brings its radio up.
-func (in *Injector) restart(u int) {
+func (in *Injector) restart(u, t int) {
 	p := in.cfg.Restart(u)
 	in.eng.ReplaceProc(u, p)
 	in.eng.SetDown(u, false)
 	if in.cfg.OnRestart != nil {
 		in.cfg.OnRestart(u, p)
+	}
+	if in.cfg.OnUp != nil {
+		in.cfg.OnUp(t, u)
 	}
 }
 

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -41,20 +42,53 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// MarshalJSON encodes the kind by name, the stable spelling of the
+// lbcast-chaos/v1 scenario documents.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	s := k.String()
+	switch k {
+	case Crash, Recover, Leave, Join:
+		return json.Marshal(s)
+	}
+	return nil, fmt.Errorf("churn: cannot marshal invalid %s", s)
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "crash":
+		*k = Crash
+	case "recover":
+		*k = Recover
+	case "leave":
+		*k = Leave
+	case "join":
+		*k = Join
+	default:
+		return fmt.Errorf("churn: unknown event kind %q", s)
+	}
+	return nil
+}
+
 // Event is one scheduled lifecycle fault: Kind happens to Node at the start
 // of round Round, before any process acts in that round.
 type Event struct {
-	Round int
-	Kind  Kind
-	Node  int
+	Round int  `json:"round"`
+	Kind  Kind `json:"kind"`
+	Node  int  `json:"node"`
 }
 
 // Fade is one region-level fading epoch: during rounds [Start, End) every
 // unreliable edge with an endpoint in one of Regions is forced out of the
 // communication graph, regardless of what the base link scheduler says.
 type Fade struct {
-	Start, End int
-	Regions    []geo.RegionID
+	Start   int            `json:"start"`
+	End     int            `json:"end"`
+	Regions []geo.RegionID `json:"regions"`
 }
 
 // Plan is a complete, deterministic fault schedule: it is fully expanded
@@ -63,13 +97,13 @@ type Fade struct {
 type Plan struct {
 	// Events holds the lifecycle schedule in canonical (Round, Node) order.
 	// At most one event per node per round.
-	Events []Event
+	Events []Event `json:"events,omitempty"`
 	// Fades holds the fading epochs, ordered by Start.
-	Fades []Fade
+	Fades []Fade `json:"fades,omitempty"`
 	// InitialAbsent lists nodes that start outside the network: the
 	// injector detaches them before the engine is built and a Join event
 	// brings them in. Ascending, no duplicates.
-	InitialAbsent []int
+	InitialAbsent []int `json:"initial_absent,omitempty"`
 }
 
 // Empty reports whether the plan schedules nothing at all — the injector

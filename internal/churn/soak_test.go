@@ -5,6 +5,7 @@ import (
 
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/geo"
+	"lbcast/internal/lbspec"
 	"lbcast/internal/sched"
 	"lbcast/internal/sim"
 	"lbcast/internal/xrand"
@@ -148,5 +149,88 @@ func TestChurnSoak(t *testing.T) {
 			t.Errorf("worker-pool(%d) soak diverged from sequential:\n got  %+v\n want %+v",
 				workers, got, seq)
 		}
+	}
+}
+
+// soakRunMonitored executes the identical soak configuration with the
+// online invariant monitor riding along (lbspec.Monitor as the injector's
+// inner environment, lifecycle hooks wired). The workload's relayProc is
+// deliberately not spec-conformant (it emits EvHear with a zero MsgID and
+// never broadcasts), so the monitor is expected to flag observations — what
+// this soak pins is that observing changes nothing: the fingerprint must be
+// byte-identical to the unmonitored run.
+func soakRunMonitored(t testing.TB, driver sim.Driver, workers int) (soakFingerprint, int) {
+	t.Helper()
+	d, err := dualgraph.RandomGeometric(150, 6, 6, 1.5, dualgraph.GreyUnreliable, xrand.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := soakPlan(t, d)
+	procs := make([]sim.Process, d.N())
+	for u := range procs {
+		procs[u] = &relayProc{base: 0.08}
+	}
+	tr := &sim.Trace{}
+	mon, err := lbspec.NewMonitor(lbspec.MonitorConfig{
+		Dual: d, Trace: tr, TAck: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fade := NewFadeScheduler(sched.NewRandom(0.5, 3), d, plan.Fades)
+	inj, err := NewInjector(InjectorConfig{
+		Plan: plan, Dual: d, Index: geo.BuildGridIndex(d.Emb),
+		Policy: dualgraph.GreyUnreliable,
+		Restart: func(u int) sim.Process {
+			procs[u] = &relayProc{base: 0.08}
+			return procs[u]
+		},
+		Fade:       fade,
+		Inner:      mon,
+		OnTopology: mon.TopologyPatched,
+		OnDown:     mon.NodeDown,
+		OnUp:       mon.NodeRestarted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Dual: d, Procs: procs, Sched: fade, Env: inj, Seed: 8,
+		Driver: driver, Workers: workers, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	inj.Attach(eng)
+	eng.Run(10_000)
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(eng.Trace()), mon.TotalViolations()
+}
+
+// TestChurnSoakMonitored is the monitored soak: the exact soak execution
+// with lbspec.Monitor attached. The golden fingerprint must hold unchanged
+// (the monitor is a pure observer), the monitor must actually observe the
+// workload (relayProc's zero-MsgID hears are flagged), and its verdict must
+// be identical across drivers.
+func TestChurnSoakMonitored(t *testing.T) {
+	seq, seqViol := soakRunMonitored(t, sim.DriverSequential, 0)
+	if seq != soakWant {
+		t.Errorf("monitored soak perturbed the execution:\n got  %+v\n want %+v", seq, soakWant)
+	}
+	if seqViol == 0 {
+		t.Error("monitor observed nothing: relayProc's non-conformant hears should be flagged")
+	}
+	pool, poolViol := soakRunMonitored(t, sim.DriverWorkerPool, 4)
+	if pool != seq {
+		t.Errorf("monitored worker-pool soak diverged:\n got  %+v\n want %+v", pool, seq)
+	}
+	if poolViol != seqViol {
+		t.Errorf("monitor verdict is driver-dependent: sequential %d, pool %d", seqViol, poolViol)
 	}
 }

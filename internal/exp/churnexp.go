@@ -160,14 +160,14 @@ func runChurnPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]Chur
 	neighFn := func(src int) []int32 { return neigh[src] }
 
 	contenders := []comparisonContender{
-		{"lbalg", "dualgraph", lbParams.TAckBound(), func(int) core.Service {
+		{"lbalg", "dualgraph", nil, neighFn, lbParams.TAckBound(), func(int) core.Service {
 			return core.NewLBAlg(lbParams)
 		}},
-		{"contention-uniform", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+		{"contention-uniform", "dualgraph", nil, neighFn, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
 			return baseline.NewContention(baseline.ContentionParams{
 				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
 		}},
-		{"decay", "dualgraph", baseline.DecayAckRounds(delta, eps), func(int) core.Service {
+		{"decay", "dualgraph", nil, neighFn, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
 			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
 		}},
 	}

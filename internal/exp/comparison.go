@@ -42,7 +42,7 @@ type ComparisonRow struct {
 	// N is the node count of the topology instance.
 	N int `json:"n"`
 	// Algorithm names the contender: lbalg, contention-uniform,
-	// contention-cycling, decay or sinr-local.
+	// contention-cycling, decay, sinr-local or sinr-pernode.
 	Algorithm string `json:"algorithm"`
 	// Model is the physical layer the run used: "dualgraph" (scatter over
 	// (G, G′) with the random½ link scheduler) or "sinr".
@@ -126,7 +126,7 @@ func comparisonSizeName(size Size) string {
 // the SINR contender runs over the same embedding with uniform power and
 // DefaultParams.
 func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
-	ns := pick(size, []int{48, 128}, []int{100, 400}, []int{1000, 4000})
+	ns := pick(size, []int{48, 128}, []int{100, 400}, []int{1000, 4000, 10_000})
 	// The budget must cover the slowest contender's acknowledgement window
 	// (LBAlg's t_ack, tens of thousands of rounds at these Δ); the cap is a
 	// safety valve, not the expected binding constraint.
@@ -142,6 +142,7 @@ func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
 			"dual-graph contenders run against the oblivious random½ link scheduler",
 			fmt.Sprintf("sinr-local runs over the same embedding with uniform power, α=%v β=%v noise=%v",
 				sinr.DefaultParams().Alpha, sinr.DefaultParams().Beta, sinr.DefaultParams().Noise),
+			"sinr-pernode repeats the SINR run with a deterministic 2× per-node power spread (P_u ∈ [0.75, 1.5]); its reliability neighbor sets use per-source isolation ranges",
 			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
 		},
 	}
@@ -159,8 +160,10 @@ func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
 // and physical layer.
 type comparisonContender struct {
 	name      string
-	model     string // "dualgraph" or "sinr"
-	ackRounds int    // the contender's acknowledgement window, for the budget
+	model     string             // "dualgraph" or "sinr"
+	reception sim.ReceptionModel // nil for dual-graph contenders
+	neighbors func(int) []int32  // reliability neighbor set per source
+	ackRounds int                // the contender's acknowledgement window, for the budget
 	build     func(u int) core.Service
 }
 
@@ -181,23 +184,63 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 	if err != nil {
 		return nil, err
 	}
+	// Non-uniform transmit powers for the sinr-pernode contender: a
+	// deterministic 2× spread over the same embedding. This exercises the
+	// per-cell power totals of the bucketed resolver, which a uniform
+	// assignment cannot.
+	powers := make(sinr.PerNodePower, n)
+	prng := xrand.New(seed).Split(0x9027)
+	for u := range powers {
+		powers[u] = 0.75 + 0.75*prng.Float64()
+	}
+	npModel, err := sinr.NewModel(d.Emb, powers, sinr.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-model neighbor sets for the reliability metric: reliable (G)
+	// neighbors under the dual-graph model, isolation-range neighbors
+	// under SINR (per-source ranges when powers differ). Lists are built
+	// lazily, once per topology instance.
+	dualNeigh := func(src int) []int32 { return d.G.Neighbors(src) }
+	var sinrNeighLists [][]int32
+	sinrNeigh := func(src int) []int32 {
+		if sinrNeighLists == nil {
+			sinrNeighLists = isolationNeighbors(d.Emb, model.Params().Range(1))
+		}
+		return sinrNeighLists[src]
+	}
+	var pernodeNeighLists [][]int32
+	pernodeNeigh := func(src int) []int32 {
+		if pernodeNeighLists == nil {
+			radii := make([]float64, n)
+			for u := range radii {
+				radii[u] = npModel.Params().Range(powers[u])
+			}
+			pernodeNeighLists = isolationNeighborsPerSource(d.Emb, radii)
+		}
+		return pernodeNeighLists[src]
+	}
 
 	contenders := []comparisonContender{
-		{"lbalg", "dualgraph", lbParams.TAckBound(), func(int) core.Service {
+		{"lbalg", "dualgraph", nil, dualNeigh, lbParams.TAckBound(), func(int) core.Service {
 			return core.NewLBAlg(lbParams)
 		}},
-		{"contention-uniform", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+		{"contention-uniform", "dualgraph", nil, dualNeigh, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
 			return baseline.NewContention(baseline.ContentionParams{
 				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
 		}},
-		{"contention-cycling", "dualgraph", baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+		{"contention-cycling", "dualgraph", nil, dualNeigh, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
 			return baseline.NewContention(baseline.ContentionParams{
 				DeltaPrime: deltaPrime, Strategy: baseline.StrategyCycling, Eps: eps})
 		}},
-		{"decay", "dualgraph", baseline.DecayAckRounds(delta, eps), func(int) core.Service {
+		{"decay", "dualgraph", nil, dualNeigh, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
 			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
 		}},
-		{"sinr-local", "sinr", sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
+		{"sinr-local", "sinr", model, sinrNeigh, sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
+			return sinr.NewLocalBcast(sinr.LayerParams{Delta: deltaPrime, Eps: eps})
+		}},
+		{"sinr-pernode", "sinr", npModel, pernodeNeigh, sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
 			return sinr.NewLocalBcast(sinr.LayerParams{Delta: deltaPrime, Eps: eps})
 		}},
 	}
@@ -219,18 +262,6 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 		senders = max(1, n/4)
 	}
 
-	// Per-model neighbor sets for the reliability metric: reliable (G)
-	// neighbors under the dual-graph model, isolation-range neighbors
-	// under SINR.
-	dualNeigh := func(src int) []int32 { return d.G.Neighbors(src) }
-	var sinrNeighLists [][]int32
-	sinrNeigh := func(src int) []int32 {
-		if sinrNeighLists == nil {
-			sinrNeighLists = isolationNeighbors(d.Emb, model.Params().Range(1))
-		}
-		return sinrNeighLists[src]
-	}
-
 	rows := make([]ComparisonRow, 0, len(contenders))
 	for ci, c := range contenders {
 		svcs := make([]core.Service, n)
@@ -242,8 +273,8 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 		env := core.NewSaturatingEnv(svcs, senderRange(senders))
 		cfg := sim.Config{Dual: d, Procs: procs, Env: env,
 			Seed: seed + uint64(ci)*1_000_003}
-		if c.model == "sinr" {
-			cfg.Reception = model
+		if c.reception != nil {
+			cfg.Reception = c.reception
 		} else {
 			cfg.Sched = sched.NewRandom(0.5, seed)
 		}
@@ -252,11 +283,7 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
 		engine.Run(rounds)
-		neigh := dualNeigh
-		if c.model == "sinr" {
-			neigh = sinrNeigh
-		}
-		row := summarizeComparisonRun(engine.Trace(), rounds, neigh)
+		row := summarizeComparisonRun(engine.Trace(), rounds, c.neighbors)
 		row.Topology = "sweep-geometric"
 		row.N = n
 		row.Algorithm = c.name
@@ -481,6 +508,29 @@ func isolationNeighbors(emb []geo.Point, radius float64) [][]int32 {
 	for u := 0; u < n; u++ {
 		gi.VisitNear(u, stencil, func(v int32) {
 			if int(v) != u && geo.Dist(emb[u], emb[int(v)]) <= radius {
+				out[u] = append(out[u], v)
+			}
+		})
+		slices.Sort(out[u])
+	}
+	return out
+}
+
+// isolationNeighborsPerSource is the non-uniform-power variant: node u's
+// neighbor set is the nodes within radii[u], u's own isolation range. One
+// stencil sized for the largest radius serves every source.
+func isolationNeighborsPerSource(emb []geo.Point, radii []float64) [][]int32 {
+	n := len(emb)
+	out := make([][]int32, n)
+	gi := geo.BuildGridIndex(emb)
+	maxR := 0.0
+	for _, r := range radii {
+		maxR = math.Max(maxR, r)
+	}
+	stencil := geo.NeighborStencil(maxR)
+	for u := 0; u < n; u++ {
+		gi.VisitNear(u, stencil, func(v int32) {
+			if int(v) != u && geo.Dist(emb[u], emb[int(v)]) <= radii[u] {
 				out[u] = append(out[u], v)
 			}
 		})

@@ -113,8 +113,8 @@ func TestComparisonSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("got %d rows, want 5 contenders", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 contenders", len(rows))
 	}
 	seen := map[string]bool{}
 	for _, r := range rows {
@@ -126,7 +126,7 @@ func TestComparisonSmoke(t *testing.T) {
 			t.Errorf("%s recorded no transmissions", r.Algorithm)
 		}
 	}
-	for _, name := range []string{"lbalg", "contention-uniform", "contention-cycling", "decay", "sinr-local"} {
+	for _, name := range []string{"lbalg", "contention-uniform", "contention-cycling", "decay", "sinr-local", "sinr-pernode"} {
 		if !seen[name] {
 			t.Errorf("missing contender %s", name)
 		}

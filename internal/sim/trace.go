@@ -114,6 +114,11 @@ type eventStore struct {
 	chunks []*eventChunk
 	n      int
 
+	// droppedChunks counts head chunks released by DiscardBefore; logical
+	// event indices keep counting from the start of the execution, so
+	// chunk ci of index i lives at chunks[ci - droppedChunks].
+	droppedChunks int
+
 	// kindCount[k] counts recorded events of kind k, so ByKind can
 	// preallocate its result exactly.
 	kindCount [numEventKinds + 1]int
@@ -149,7 +154,11 @@ func (s *eventStore) append(ev Event) {
 
 // at reassembles event i from the columns.
 func (s *eventStore) at(i int) Event {
-	c := s.chunks[i/eventChunkLen]
+	ci := i/eventChunkLen - s.droppedChunks
+	if ci < 0 {
+		panic(fmt.Sprintf("sim: event %d was released by Trace.DiscardBefore", i))
+	}
+	c := s.chunks[ci]
 	j := i % eventChunkLen
 	ev := Event{
 		Round: int(c.round[j]),
@@ -211,10 +220,52 @@ func (tr *Trace) Record(ev Event) { tr.store.append(ev) }
 // Len returns the number of recorded events.
 func (tr *Trace) Len() int { return tr.store.n }
 
-// At returns event i (0 ≤ i < Len) in trace order. Incremental consumers —
-// analyses that poll the trace between rounds — scan the tail with
-// At(i) for i in [seen, Len()).
+// At returns event i (Discarded() ≤ i < Len) in trace order. Incremental
+// consumers — analyses that poll the trace between rounds — scan the tail
+// with At(i) for i in [seen, Len()).
 func (tr *Trace) At(i int) Event { return tr.store.at(i) }
+
+// DiscardBefore releases the storage of every full chunk of events with
+// index < i, for incremental consumers (lbspec.Monitor in no-retention
+// mode) that have fully processed the head of the trace. Logical indices
+// are unaffected: Len() keeps counting all recorded events, aggregate
+// statistics and per-kind counters are untouched, and At/Events serve the
+// retained suffix [Discarded(), Len()). Accessing a released index panics.
+func (tr *Trace) DiscardBefore(i int) {
+	s := &tr.store
+	if i > s.n {
+		i = s.n
+	}
+	drop := i/eventChunkLen - s.droppedChunks
+	if drop <= 0 {
+		return
+	}
+	// Shift in place: no allocation, and the released chunks (plus their
+	// sparse payload entries) become collectable.
+	keep := copy(s.chunks, s.chunks[drop:])
+	for j := keep; j < len(s.chunks); j++ {
+		s.chunks[j] = nil
+	}
+	s.chunks = s.chunks[:keep]
+	s.droppedChunks += drop
+	cut := 0
+	for cut < len(s.payIdx) && int(s.payIdx[cut]) < s.droppedChunks*eventChunkLen {
+		cut++
+	}
+	if cut > 0 {
+		kp := copy(s.payIdx, s.payIdx[cut:])
+		s.payIdx = s.payIdx[:kp]
+		kv := copy(s.payVal, s.payVal[cut:])
+		for j := kv; j < len(s.payVal); j++ {
+			s.payVal[j] = nil
+		}
+		s.payVal = s.payVal[:kv]
+	}
+}
+
+// Discarded returns the index of the first retained event — 0 unless
+// DiscardBefore has released head chunks.
+func (tr *Trace) Discarded() int { return tr.store.droppedChunks * eventChunkLen }
 
 // Events iterates over all recorded events in trace order, walking the
 // columns chunk by chunk without materialising []Event. Sparse payloads are
@@ -223,7 +274,7 @@ func (tr *Trace) At(i int) Event { return tr.store.at(i) }
 func (tr *Trace) Events() iter.Seq[Event] {
 	return func(yield func(Event) bool) {
 		payIdx, payVal := tr.store.payIdx, tr.store.payVal
-		base, p := 0, 0
+		base, p := tr.store.droppedChunks*eventChunkLen, 0
 		for _, c := range tr.store.chunks {
 			for j := range c.round {
 				ev := Event{

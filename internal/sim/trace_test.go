@@ -125,3 +125,73 @@ func BenchmarkTracedRound(b *testing.B) {
 		e.Step()
 	}
 }
+
+// TestDiscardBefore pins the chunk-release contract: logical indexing of
+// the retained suffix is unchanged, released indices panic, sparse payloads
+// are trimmed with their chunks, and continued recording works.
+func TestDiscardBefore(t *testing.T) {
+	tr := &Trace{}
+	const total = 3*eventChunkLen + 10
+	want := make([]Event, total)
+	for i := 0; i < total; i++ {
+		ev := Event{Round: i/5 + 1, Node: i % 17, Kind: EvHear, From: -1, MsgID: NewMsgID(i%17, i)}
+		if i%eventChunkLen == 3 {
+			ev.Payload = fmt.Sprintf("p%d", i)
+		}
+		want[i] = ev
+		tr.Record(ev)
+	}
+
+	// Mid-chunk cutoff: only the full chunks before it are released.
+	tr.DiscardBefore(eventChunkLen + 7)
+	if got := tr.Discarded(); got != eventChunkLen {
+		t.Fatalf("Discarded = %d, want %d", got, eventChunkLen)
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len changed to %d after discard", tr.Len())
+	}
+	for i := tr.Discarded(); i < total; i++ {
+		if got := tr.At(i); got != want[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+		}
+	}
+	i := tr.Discarded()
+	for ev := range tr.Events() {
+		if ev != want[i] {
+			t.Fatalf("iterator event %d = %+v, want %+v", i, ev, want[i])
+		}
+		i++
+	}
+	if i != total {
+		t.Fatalf("iterator stopped at %d, want %d", i, total)
+	}
+
+	// A released index must panic, not silently return the wrong event.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At on a released index did not panic")
+			}
+		}()
+		_ = tr.At(0)
+	}()
+
+	// Discarding is idempotent for an already-released prefix, and
+	// recording continues to extend the retained suffix.
+	tr.DiscardBefore(eventChunkLen)
+	extra := Event{Round: 999, Node: 1, Kind: EvBcast, MsgID: NewMsgID(1, 999), Payload: "tail"}
+	tr.Record(extra)
+	if got := tr.At(total); got != extra {
+		t.Fatalf("post-discard record: At(%d) = %+v, want %+v", total, got, extra)
+	}
+
+	// Release everything recorded so far: Len is clamped, only the partial
+	// tail chunk survives.
+	tr.DiscardBefore(tr.Len() + 500)
+	if got, min := tr.Discarded(), 3*eventChunkLen; got != min {
+		t.Fatalf("full discard: Discarded = %d, want %d", got, min)
+	}
+	if got := tr.At(total); got != extra {
+		t.Fatalf("tail lost after full discard: At(%d) = %+v", total, got)
+	}
+}
