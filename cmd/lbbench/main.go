@@ -27,6 +27,7 @@ func main() {
 		sweepP    = flag.Float64("sweepp", 0.1, "per-node transmit probability for -sweep")
 		sweepW    = flag.String("sweepworkers", "", "comma-separated worker-pool sizes for -sweep's workerpool rows (default: GOMAXPROCS); the multi-core CI matrix passes 1,2,4 to record the parallel-scatter speedup curve")
 		compare   = flag.Bool("compare", false, "run the algorithm comparison matrix (LBAlg vs SINR layer vs contention baselines) at -size; renders the table, or embeds it in -benchjson")
+		loadF     = flag.Bool("load", false, "run the open-loop traffic matrix (E-LOAD knee curves) at -size; renders the table, or embeds it in -benchjson")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -gobench measurements against")
 		gateBench = flag.String("gatebench", "BenchmarkNetworkRound", "comma-separated benchmark names for the -baseline gate")
 		gateLimit = flag.Float64("gatelimit", 1.20, "fail the -baseline gate when current/baseline ns/op exceeds this ratio")
@@ -85,7 +86,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *sweep || *compare {
+	var loadRep *exp.LoadReport
+	if *loadF {
+		var err error
+		loadRep, err = exp.RunLoad(size, *seedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sweep || *compare || *loadF {
 		// Tables go to stdout when they are the final product, to stderr
 		// when -benchjson makes the JSON file the product.
 		out := os.Stderr
@@ -106,6 +116,12 @@ func main() {
 		}
 		if compareRep != nil {
 			if err := exp.ComparisonTable(compareRep).Render(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if loadRep != nil {
+			if err := exp.LoadTable(loadRep).Render(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -131,7 +147,7 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, todo, size, *sizeFlag, *seedFlag, *benchIt,
-			*goBench, *noteFlag, sweepPoints, consPoints, compareRep); err != nil {
+			*goBench, *noteFlag, sweepPoints, consPoints, compareRep, loadRep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -174,9 +190,10 @@ Modes:
       list experiment IDs
   lbbench -benchjson BENCH_x.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
       measure experiments into a machine-readable BENCH_*.json
-  lbbench -sweep [-sweepn 100,1000] [-sweepworkers 1,2,4] [-compare] [-benchjson ...]
+  lbbench -sweep [-sweepn 100,1000] [-sweepworkers 1,2,4] [-compare] [-load] [-benchjson ...]
       engine scaling sweep (n × scheduler × driver rounds/sec); -compare adds
-      the LBAlg vs SINR-layer vs contention-baseline matrix (E-COMPARE)
+      the LBAlg vs SINR-layer vs contention-baseline matrix (E-COMPARE),
+      -load the open-loop traffic knee matrix (E-LOAD)
   lbbench -baseline BENCH_x.json -gobench gotest.txt [-gatebench A,B] [-gatelimit 1.20]
       CI regression gate: fail when a named benchmark's ns/op exceeds
       gatelimit × the committed baseline
@@ -260,7 +277,8 @@ func runGate(baselinePath, goBenchPath, names string, limit float64) error {
 // machine-readable benchmark file.
 func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName string,
 	seed uint64, iters int, goBenchPath, note string, sweepPoints []exp.SweepPoint,
-	consPoints []exp.ConstructionPoint, compareRep *exp.ComparisonReport) error {
+	consPoints []exp.ConstructionPoint, compareRep *exp.ComparisonReport,
+	loadRep *exp.LoadReport) error {
 	file := exp.BenchFile{
 		Note:         note,
 		GoVersion:    runtime.Version(),
@@ -269,6 +287,7 @@ func writeBenchJSON(path string, todo []exp.Experiment, size exp.Size, sizeName 
 		Sweep:        sweepPoints,
 		Construction: consPoints,
 		Comparison:   compareRep,
+		Load:         loadRep,
 	}
 	for _, e := range todo {
 		r, err := exp.MeasureExperiment(e, size, seed, iters)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"lbcast/internal/chaos"
 	"lbcast/internal/core"
@@ -29,7 +30,7 @@ func main() {
 		senders   = flag.Int("senders", 3, "number of saturated senders")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		traceFile = flag.String("trace", "", "write the execution trace as JSON to this file")
-		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison|churn|chaos")
+		expFlag   = flag.String("exp", "", "subsystem to run instead of the single-configuration report: comparison|churn|chaos|load")
 		sizeFlag  = flag.String("size", "small", "scale for -exp runs: small|medium|full")
 		outFile   = flag.String("out", "", "JSON output path for -exp runs (default <exp>.json)")
 		reproFile = flag.String("repro", "", "with -exp chaos: replay this lbcast-chaos/v1 scenario instead of searching")
@@ -74,18 +75,29 @@ Modes:
   lbsim -exp chaos -repro repro.json
       deterministically replay a minimized lbcast-chaos/v1 scenario and
       print its monitor verdict
+  lbsim -exp load [-size ...] [-seed N] [-out load.json]
+      E-LOAD matrix: the open-loop traffic engine sweeping offered load
+      across LBAlg and the contention baselines on identical arrival
+      schedules, plus the preset scenarios (lbcast-load/v1; recorded
+      arrival schedules replay via lbcast-load-trace/v1)
 
 Flags:
 `)
 	flag.PrintDefaults()
 }
 
+// expModes lists the valid -exp subsystem names. The unknown-experiment
+// error enumerates this list (and main_test.go pins that every mode
+// appears in it), so keep it in sync with runExp's dispatch switch.
+var expModes = []string{"chaos", "churn", "comparison", "load"}
+
 // runExp dispatches the -exp subsystems: the comparison matrix (LBAlg vs
 // the SINR local broadcast layer vs the GHLN contention baselines), the
 // churn matrix (the same contenders degrading under identical Poisson
-// fault schedules), and the chaos search (randomized scenarios with the
-// online monitor attached). Each renders a table and writes
-// machine-readable JSON.
+// fault schedules), the chaos search (randomized scenarios with the
+// online monitor attached), and the open-loop load matrix (the traffic
+// engine's knee curves). Each renders a table and writes machine-readable
+// JSON.
 func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error {
 	if reproFile != "" {
 		if name != "chaos" {
@@ -132,8 +144,17 @@ func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error
 		if outFile == "" {
 			outFile = "chaos.json"
 		}
+	case "load":
+		rep, err := exp.RunLoad(size, seed)
+		if err != nil {
+			return err
+		}
+		tbl, writeFn, rowCount = exp.LoadTable(rep), rep.WriteJSON, len(rep.Rows)+len(rep.Scenarios)
+		if outFile == "" {
+			outFile = "load.json"
+		}
 	default:
-		return fmt.Errorf("unknown -exp %q (supported: comparison, churn, chaos)", name)
+		return fmt.Errorf("unknown -exp %q (valid experiments: %s)", name, strings.Join(expModes, ", "))
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownExpError pins the unknown-experiment UX: the error must name
+// the rejected experiment and enumerate every valid -exp mode (main exits
+// non-zero on any runExp error).
+func TestUnknownExpError(t *testing.T) {
+	err := runExp("bogus", "small", 1, "", "")
+	if err == nil {
+		t.Fatal("runExp accepted an unknown experiment")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error does not name the rejected experiment: %q", msg)
+	}
+	for _, mode := range expModes {
+		if !strings.Contains(msg, mode) {
+			t.Errorf("error does not list valid experiment %q: %q", mode, msg)
+		}
+	}
+}
+
+// TestExpModesComplete keeps the enumerated list in sync with the dispatch:
+// every registered mode must be distinct and include the four subsystems.
+func TestExpModesComplete(t *testing.T) {
+	want := map[string]bool{"chaos": true, "churn": true, "comparison": true, "load": true}
+	seen := map[string]bool{}
+	for _, m := range expModes {
+		if seen[m] {
+			t.Errorf("duplicate mode %q", m)
+		}
+		seen[m] = true
+		delete(want, m)
+	}
+	for m := range want {
+		t.Errorf("expModes missing %q", m)
+	}
+}
+
+// TestBadSizeError covers the other rejection path shared by all modes.
+func TestBadSizeError(t *testing.T) {
+	if err := runExp("load", "giant", 1, "", ""); err == nil {
+		t.Error("runExp accepted an unknown size")
+	}
+}

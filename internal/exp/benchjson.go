@@ -50,6 +50,9 @@ type BenchFile struct {
 	// Comparison embeds the algorithm comparison matrix when the sweep ran
 	// with -compare (see ComparisonReport).
 	Comparison *ComparisonReport `json:"comparison,omitempty"`
+	// Load embeds the open-loop traffic matrix when run with -load (see
+	// LoadReport).
+	Load *LoadReport `json:"load,omitempty"`
 }
 
 // WriteJSON renders the file with stable formatting.

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"E-LOCAL", "E-REGION", "E-AMAC",
 		"E-ABL-FREQ", "E-CONST",
 		"E-MMB", "E-CONSENSUS",
-		"E-COMPARE", "E-SINR", "E-CHURN", "E-CHAOS",
+		"E-COMPARE", "E-SINR", "E-CHURN", "E-CHAOS", "E-LOAD",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,363 @@
+// This file implements E-LOAD, the open-loop traffic experiment: the layer
+// driven as a service under offered load instead of a closed broadcast
+// loop. The sweep's independent variable is *utilisation*: offered load is
+// expressed as a fraction of each policy's own service capacity (one
+// message per node per ack window), so every policy's throughput/latency
+// knee appears at the same place on the x-axis and the curves are
+// comparable even though the policies' absolute service times differ by
+// orders of magnitude. Arrival schedules are compiled from (seed, load)
+// alone before any run, from per-node independent streams. Runs use the
+// sequential driver, so one invocation is deterministic across GOMAXPROCS
+// settings.
+
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/workload"
+	"lbcast/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E-LOAD", Claim: "open-loop service under offered load: utilisation-normalised throughput/latency knee per policy", Run: runLoadExp})
+}
+
+// LoadRow is one (offered load, algorithm) measurement. JSON field names
+// are the stable schema documented in docs/EXPERIMENTS.md (lbcast-load/v1).
+type LoadRow struct {
+	// Load is the offered intensity in utilisation units: expected
+	// arrivals per node per ack window of this row's own policy (1.0 =
+	// arrivals exactly match the policy's service capacity). The sweep's
+	// independent variable.
+	Load float64 `json:"offered_per_window"`
+	// Rate is the resulting per-node per-round arrival rate.
+	Rate      float64 `json:"arrival_rate"`
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	Rounds    int     `json:"rounds"`
+	// Offered/Accepted/Dropped account every arrival; DropFrac is
+	// Dropped/Offered (0 when nothing was offered).
+	Offered  int     `json:"offered"`
+	Accepted int     `json:"accepted"`
+	Dropped  int     `json:"dropped"`
+	DropFrac float64 `json:"drop_frac"`
+	// Bcasts and Acks count broadcasts entering and completing service;
+	// Goodput is acks per round across the network.
+	Bcasts  int     `json:"bcasts"`
+	Acks    int     `json:"acks"`
+	Goodput float64 `json:"goodput_acks_per_round"`
+	// AckP50/P99/P999 are the arrival→ack sojourn percentiles in rounds
+	// (queue wait + service); SvcP50 the bcast→ack service portion alone.
+	AckP50  int `json:"ack_p50"`
+	AckP99  int `json:"ack_p99"`
+	AckP999 int `json:"ack_p999"`
+	SvcP50  int `json:"svc_p50"`
+	// MeanDepth is the mean total backlog across the network, MaxDepth the
+	// deepest any single queue got; Depth is the sampled time series.
+	MeanDepth float64                `json:"mean_queue_depth"`
+	MaxDepth  int                    `json:"max_queue_depth"`
+	Depth     []workload.DepthSample `json:"queue_depth_series,omitempty"`
+	// Engine-level counters for the same run.
+	Transmissions int `json:"transmissions"`
+	Collisions    int `json:"collisions"`
+}
+
+// ScenarioRow is one preset-scenario run (fastest policy): the named
+// workload shapes from internal/workload exercised end to end.
+type ScenarioRow struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"queue_policy"`
+	Capacity int    `json:"queue_capacity"`
+	LoadRow
+}
+
+// LoadReport is the JSON document produced by `lbsim -exp load`.
+type LoadReport struct {
+	// Schema identifies the document layout; bump on incompatible change.
+	Schema string `json:"schema"`
+	Seed   uint64 `json:"seed"`
+	Size   string `json:"size"`
+	// Rows holds one entry per (load, algorithm), loads ascending — each
+	// algorithm's knee curve read along its load column.
+	Rows []LoadRow `json:"rows"`
+	// Scenarios holds the preset-scenario runs.
+	Scenarios []ScenarioRow `json:"scenarios,omitempty"`
+	Notes     []string      `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// loadLevels is the sweep, in utilisation units: expected arrivals per node
+// per ack window of the policy under test. Spanning well below saturation
+// (latency ≈ service time), the knee at 1, and deep overload (queues pinned
+// at capacity, drops dominating).
+var loadLevels = []float64{0.25, 0.5, 1, 2, 4}
+
+// loadQueueCap bounds every node's queue in the sweep rows.
+const loadQueueCap = 8
+
+// RunLoad executes the load matrix: one constant-density geometric
+// topology (the comparison family), and for every (load, contender) pair a
+// Poisson arrival plan whose rate is that load in the contender's own
+// utilisation units.
+func RunLoad(size Size, seed uint64) (*LoadReport, error) {
+	n := pick(size, 48, 100, 250)
+	roundsCap := pick(size, 400_000, 900_000, 2_000_000)
+	const eps = 0.2
+
+	rep := &LoadReport{
+		Schema: "lbcast-load/v1",
+		Seed:   seed,
+		Size:   comparisonSizeName(size),
+		Notes: []string{
+			"topology: constant-density random geometric (comparison family), r=1.5, grey-zone links unreliable",
+			"load = utilisation: expected arrivals per node per ack window of the row's own policy (1.0 saturates it); same generator seed per load across contenders",
+			fmt.Sprintf("per-node FIFO queues, capacity %d, drop-newest; ack latency = arrival→ack sojourn (queue wait + service)", loadQueueCap),
+			"dual-graph scatter with the oblivious random½ link scheduler; sequential driver (GOMAXPROCS-independent)",
+			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+			"scenario presets run against the fastest policy so queue dynamics, not raw saturation, dominate",
+		},
+	}
+	for _, load := range loadLevels {
+		rows, err := runLoadPoint(n, seed, load, eps, roundsCap)
+		if err != nil {
+			return nil, fmt.Errorf("exp: load=%v: %w", load, err)
+		}
+		rep.Rows = append(rep.Rows, rows...)
+	}
+	srows, err := runLoadScenarios(n, seed, eps, roundsCap)
+	if err != nil {
+		return nil, fmt.Errorf("exp: load scenarios: %w", err)
+	}
+	rep.Scenarios = srows
+	return rep, nil
+}
+
+// loadContenders builds the contender set over one topology's parameters.
+func loadContenders(delta, deltaPrime int, r, eps float64) ([]comparisonContender, core.Params, error) {
+	lbParams, err := core.DeriveParams(delta, deltaPrime, r, eps)
+	if err != nil {
+		return nil, core.Params{}, err
+	}
+	return []comparisonContender{
+		{"lbalg", "dualgraph", nil, nil, lbParams.TAckBound(), func(int) core.Service {
+			return core.NewLBAlg(lbParams)
+		}},
+		{"contention-uniform", "dualgraph", nil, nil, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
+			return baseline.NewContention(baseline.ContentionParams{
+				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
+		}},
+		{"decay", "dualgraph", nil, nil, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
+			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
+		}},
+	}, lbParams, nil
+}
+
+// loadGeometry builds the experiment's topology for n nodes.
+func loadGeometry(n int, seed uint64) (*dualgraph.Dual, error) {
+	side := math.Max(4, math.Sqrt(float64(n)/4))
+	return dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+}
+
+// loadMinRounds floors every run's round budget so fast policies still
+// accumulate thousands of arrivals for the tail percentiles.
+const loadMinRounds = 20_000
+
+// loadRounds sizes a contender's round budget: at least eight of its own
+// ack windows (so completions pile up past the knee) and at least
+// loadMinRounds, capped by the size budget.
+func loadRounds(window, roundsCap int) int {
+	return min(roundsCap, max(8*window, loadMinRounds)+64)
+}
+
+// runLoadPoint runs every contender at one utilisation level. Each
+// contender's arrival rate is the load divided by its own ack window, over
+// a round budget covering several of those windows; the generator seed is
+// shared, so contenders with equal windows serve identical schedules.
+func runLoadPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]LoadRow, error) {
+	ref, err := loadGeometry(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	contenders, _, err := loadContenders(ref.Delta(), ref.DeltaPrime(), ref.R, eps)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]LoadRow, 0, len(contenders))
+	for ci, c := range contenders {
+		rounds := loadRounds(c.ackRounds, roundsCap)
+		rate := load / float64(c.ackRounds)
+		plan, err := workload.Poisson(workload.PoissonConfig{
+			N: n, Rounds: rounds, Rate: rate, Seed: seed ^ math.Float64bits(load),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := runLoadRun(ref, seed+uint64(ci)*1_000_003, plan, loadQueueCap, workload.DropNewest, c.build)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		row.Load = load
+		row.Rate = rate
+		row.Algorithm = c.name
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// runLoadRun executes one (plan, contender) run and summarises its
+// metrics. The dual graph is shared read-only across runs (no churn
+// patches it here), so every contender sees the identical world; the
+// engine seed varies per contender exactly as in the other matrices.
+func runLoadRun(d *dualgraph.Dual, engineSeed uint64, plan *workload.Plan, capacity int,
+	policy workload.DropPolicy, build func(int) core.Service) (*LoadRow, error) {
+
+	n := d.N()
+	svcs := make([]core.Service, n)
+	procs := make([]sim.Process, n)
+	for u := 0; u < n; u++ {
+		svcs[u] = build(u)
+		procs[u] = svcs[u]
+	}
+	traffic, err := workload.NewTraffic(workload.Config{
+		Plan: plan, Services: svcs,
+		Capacity: capacity, Policy: policy,
+		LatencyCap: plan.Rounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.New(sim.Config{Dual: d, Procs: procs, Env: traffic,
+		Sched: sched.NewRandom(0.5, engineSeed), Seed: engineSeed})
+	if err != nil {
+		return nil, err
+	}
+	engine.Run(plan.Rounds)
+	row := summarizeLoadRun(traffic.Metrics(), engine.Trace(), plan)
+	return &row, nil
+}
+
+// summarizeLoadRun folds a run's workload metrics and engine trace into a
+// row.
+func summarizeLoadRun(m *workload.Metrics, tr *sim.Trace, plan *workload.Plan) LoadRow {
+	row := LoadRow{
+		N:             plan.N,
+		Rounds:        plan.Rounds,
+		Offered:       m.Offered,
+		Accepted:      m.Accepted,
+		Dropped:       m.Dropped,
+		Bcasts:        m.Bcasts,
+		Acks:          m.Acks,
+		AckP50:        m.Sojourn.Quantile(0.50),
+		AckP99:        m.Sojourn.Quantile(0.99),
+		AckP999:       m.Sojourn.Quantile(0.999),
+		SvcP50:        m.Service.Quantile(0.50),
+		MaxDepth:      m.DepthMax,
+		Depth:         m.Depth,
+		Transmissions: tr.Transmissions,
+		Collisions:    tr.Collisions,
+	}
+	if m.Offered > 0 {
+		row.DropFrac = float64(m.Dropped) / float64(m.Offered)
+	}
+	if m.Rounds > 0 {
+		row.Goodput = float64(m.Acks) / float64(m.Rounds)
+		row.MeanDepth = float64(m.DepthSum) / float64(m.Rounds)
+	}
+	return row
+}
+
+// runLoadScenarios exercises the preset scenarios end to end against the
+// fastest contender: the presets' absolute rates were shaped for a layer
+// that acks within a few hundred rounds, so the fast policy lets queue
+// dynamics (bursts building and draining, stale readings superseded) show
+// up instead of uniform saturation.
+func runLoadScenarios(n int, seed uint64, eps float64, roundsCap int) ([]ScenarioRow, error) {
+	ref, err := loadGeometry(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	contenders, _, err := loadContenders(ref.Delta(), ref.DeltaPrime(), ref.R, eps)
+	if err != nil {
+		return nil, err
+	}
+	fast := contenders[0]
+	for _, c := range contenders[1:] {
+		if c.ackRounds < fast.ackRounds {
+			fast = c
+		}
+	}
+	rounds := loadRounds(fast.ackRounds, roundsCap)
+
+	var rows []ScenarioRow
+	for _, name := range workload.ScenarioNames() {
+		sc, err := workload.BuildScenario(name, n, rounds, seed)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runLoadRun(ref, seed, sc.Plan, sc.Capacity, sc.Policy, fast.build)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		row.Rate = sc.Plan.OfferedLoad()
+		row.Load = row.Rate * float64(fast.ackRounds)
+		row.Algorithm = fast.name
+		rows = append(rows, ScenarioRow{
+			Scenario: name,
+			Policy:   sc.Policy.String(),
+			Capacity: sc.Capacity,
+			LoadRow:  *row,
+		})
+	}
+	return rows, nil
+}
+
+// LoadTable renders a load report as a stats table for terminal output.
+func LoadTable(rep *LoadReport) *stats.Table {
+	tbl := &stats.Table{
+		Title: "E-LOAD: open-loop offered load vs SLOs (utilisation-normalised per policy)",
+		Columns: []string{"load", "algorithm", "rounds", "offered", "dropped",
+			"goodput", "ack p50", "ack p99", "ack p999", "mean backlog", "max depth"},
+		Notes: rep.Notes,
+	}
+	for _, r := range rep.Rows {
+		tbl.AddRow(fmt.Sprintf("%.2f", r.Load), r.Algorithm, r.Rounds, r.Offered,
+			r.Dropped, fmt.Sprintf("%.4f", r.Goodput), r.AckP50, r.AckP99, r.AckP999,
+			fmt.Sprintf("%.2f", r.MeanDepth), r.MaxDepth)
+	}
+	for _, s := range rep.Scenarios {
+		tbl.AddRow(s.Scenario, s.Algorithm, s.Rounds, s.Offered,
+			s.Dropped, fmt.Sprintf("%.4f", s.Goodput), s.AckP50, s.AckP99, s.AckP999,
+			fmt.Sprintf("%.2f", s.MeanDepth), s.MaxDepth)
+	}
+	return tbl
+}
+
+// runLoadExp adapts RunLoad to the experiment registry.
+func runLoadExp(size Size, seed uint64) (*Result, error) {
+	rep, err := RunLoad(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "E-LOAD",
+		Claim:  "open-loop traffic: throughput/latency knee and queue behaviour per policy",
+		Tables: []*stats.Table{LoadTable(rep)},
+	}, nil
+}

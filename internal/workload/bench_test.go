@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// BenchmarkWorkloadRound measures the per-round cost of the engine with the
+// traffic layer active: the soak topology (150 Decay nodes) under Poisson
+// offered load, so every iteration pays for arrival delivery, queue
+// dispatch and metrics folding on top of the base scatter. Compare against
+// BenchmarkNetworkRound for the traffic layer's overhead; the CI regression
+// gate tracks it.
+func BenchmarkWorkloadRound(b *testing.B) {
+	d, err := dualgraph.RandomGeometric(150, 6, 6, 1.5, dualgraph.GreyUnreliable, xrand.New(41))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := b.N
+	plan, err := Poisson(PoissonConfig{N: d.N(), Rounds: rounds, Rate: 0.004, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ackRounds := baseline.DecayAckRounds(d.Delta(), 0.2)
+	svcs := make([]core.Service, d.N())
+	procs := make([]sim.Process, d.N())
+	for u := range svcs {
+		svcs[u] = baseline.NewDecay(baseline.DecayParams{Delta: d.Delta(), AckRounds: ackRounds})
+		procs[u] = svcs[u]
+	}
+	traffic, err := NewTraffic(Config{
+		Plan: plan, Services: svcs, Capacity: 4, Policy: DropOldest,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Dual: d, Procs: procs, Env: traffic,
+		Sched: sched.NewRandom(0.5, 3), Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(rounds)
+}

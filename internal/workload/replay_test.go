@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// replayRun executes one engine run from a plan + queue discipline and
+// returns the full execution fingerprint.
+func replayRun(t *testing.T, plan *Plan, capacity int, policy DropPolicy) loadFingerprint {
+	t.Helper()
+	d, err := dualgraph.RandomGeometric(plan.N, 5, 5, 1.5, dualgraph.GreyUnreliable, xrand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcs := make([]core.Service, d.N())
+	procs := make([]sim.Process, d.N())
+	for u := range svcs {
+		svcs[u] = baseline.NewDecay(baseline.DecayParams{
+			Delta: d.Delta(), AckRounds: baseline.DecayAckRounds(d.Delta(), 0.2)})
+		procs[u] = svcs[u]
+	}
+	traffic, err := NewTraffic(Config{
+		Plan: plan, Services: svcs, Capacity: capacity, Policy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Dual: d, Procs: procs, Env: traffic,
+		Sched: sched.NewRandom(0.5, 7), Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Run(plan.Rounds)
+	return loadSoakFingerprint(eng.Trace(), traffic.Metrics())
+}
+
+// TestReplayRoundTrip pins the record/replay contract: a run recorded as
+// lbcast-load-trace/v1 JSON and replayed from the decoded document yields a
+// byte-identical arrival plan, byte-identical workload metrics and a
+// byte-identical engine fingerprint.
+func TestReplayRoundTrip(t *testing.T) {
+	const seed = 31
+	sc, err := BuildScenario("alarm-flood", 60, 4_000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := replayRun(t, sc.Plan, sc.Capacity, sc.Policy)
+
+	doc := RecordTrace(sc.Plan, sc.Name, seed, sc.Capacity, sc.Policy)
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != sc.Name || decoded.Seed != seed || decoded.Capacity != sc.Capacity {
+		t.Errorf("trace header mangled: %+v", decoded)
+	}
+	if !reflect.DeepEqual(decoded.Plan(), sc.Plan) {
+		t.Fatal("decoded plan differs from the recorded one")
+	}
+	policy, err := decoded.DropPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := replayRun(t, decoded.Plan(), decoded.Capacity, policy)
+	if replayed != recorded {
+		t.Errorf("replay diverged from the recorded run:\n got  %+v\n want %+v", replayed, recorded)
+	}
+}
+
+// TestTraceFileRoundTrip exercises the file path and the validation errors.
+func TestTraceFileRoundTrip(t *testing.T) {
+	plan, err := Poisson(PoissonConfig{N: 8, Rounds: 500, Rate: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := RecordTrace(plan, "poisson", 3, 2, DropNewest)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Plan(), plan) {
+		t.Error("file round trip changed the plan")
+	}
+
+	if _, err := ReadTrace(strings.NewReader(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("ReadTrace accepted a wrong schema")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"schema":"lbcast-load-trace/v1","capacity":1,"policy":"lifo","n":1,"rounds":1}`)); err == nil {
+		t.Error("ReadTrace accepted an unknown policy")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"schema":"lbcast-load-trace/v1","capacity":1,"policy":"drop-newest","n":1,"rounds":1,` +
+			`"arrivals":[{"round":9,"node":0}]}`)); err == nil {
+		t.Error("ReadTrace accepted an out-of-range arrival")
+	}
+}
+
+// TestScenarioPresets pins the catalog: every preset builds, validates, and
+// carries its documented queue discipline.
+func TestScenarioPresets(t *testing.T) {
+	want := map[string]struct {
+		capacity int
+		policy   DropPolicy
+	}{
+		"iot-telemetry": {4, DropOldest},
+		"alarm-flood":   {16, DropNewest},
+		"gossip-storm":  {32, DropNewest},
+	}
+	names := ScenarioNames()
+	if len(names) != len(want) {
+		t.Fatalf("ScenarioNames = %v", names)
+	}
+	for _, name := range names {
+		sc, err := BuildScenario(name, 40, 10_000, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Plan.Validate(); err != nil {
+			t.Errorf("%s: invalid plan: %v", name, err)
+		}
+		if len(sc.Plan.Arrivals) == 0 {
+			t.Errorf("%s: empty plan", name)
+		}
+		w := want[name]
+		if sc.Capacity != w.capacity || sc.Policy != w.policy {
+			t.Errorf("%s: discipline %d/%v, want %d/%v", name, sc.Capacity, sc.Policy, w.capacity, w.policy)
+		}
+		if name == "alarm-flood" && len(sc.Bursts) == 0 {
+			t.Error("alarm-flood reported no burst epochs")
+		}
+	}
+	if _, err := BuildScenario("nope", 40, 100, 1); err == nil {
+		t.Error("BuildScenario accepted an unknown preset")
+	}
+}

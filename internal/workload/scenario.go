@@ -1,0 +1,69 @@
+package workload
+
+import "fmt"
+
+// Scenario is a named preset workload: an expanded arrival plan plus the
+// queue discipline it is meant to run with.
+type Scenario struct {
+	// Name is the preset identifier (see ScenarioNames).
+	Name string
+	// Plan is the expanded arrival schedule.
+	Plan *Plan
+	// Capacity and Policy are the queue discipline the preset models.
+	Capacity int
+	Policy   DropPolicy
+	// Bursts holds the burst epochs for regime-switching presets
+	// (alarm-flood); nil otherwise.
+	Bursts []Epoch
+}
+
+// scenarioNames lists the presets in catalog order.
+var scenarioNames = []string{"iot-telemetry", "alarm-flood", "gossip-storm"}
+
+// ScenarioNames returns the preset names in catalog order.
+func ScenarioNames() []string { return append([]string(nil), scenarioNames...) }
+
+// BuildScenario expands a preset at the given scale. The presets model
+// three service regimes over the same layer:
+//
+//   - iot-telemetry: a steady low-rate Poisson trickle (one reading per
+//     node per ~400 rounds) with shallow drop-oldest queues — a stale
+//     sensor reading is superseded, never worth queueing behind.
+//   - alarm-flood: near-silence punctuated by correlated bursts (a global
+//     MMPP regime chain lifts every node's rate 50×) against drop-newest
+//     queues — the congestion-collapse preset.
+//   - gossip-storm: a heavy sinusoidal diurnal curve (rate swinging
+//     roughly 5× around its mean over four "days") with deep queues —
+//     sustained overload building and draining with the curve.
+func BuildScenario(name string, n, rounds int, seed uint64) (*Scenario, error) {
+	switch name {
+	case "iot-telemetry":
+		p, err := Poisson(PoissonConfig{N: n, Rounds: rounds, Rate: 0.0025, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Name: name, Plan: p, Capacity: 4, Policy: DropOldest}, nil
+	case "alarm-flood":
+		p, epochs, err := MMPP(MMPPConfig{
+			N: n, Rounds: rounds,
+			QuietRate: 0.0005, BurstRate: 0.025,
+			MeanQuiet: max(1, rounds/5), MeanBurst: max(1, rounds/25),
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Name: name, Plan: p, Capacity: 16, Policy: DropNewest, Bursts: epochs}, nil
+	case "gossip-storm":
+		p, err := Diurnal(DiurnalConfig{
+			N: n, Rounds: rounds,
+			Base: 0.006, Amp: 0.005, Period: max(2, rounds/4),
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Name: name, Plan: p, Capacity: 32, Policy: DropNewest}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (valid: %v)", name, scenarioNames)
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+
+	"lbcast/internal/baseline"
+	"lbcast/internal/core"
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// loadFingerprint is the golden execution fingerprint of the load soak: the
+// engine-trace reduction churn's soak pins, plus the workload metrics hash,
+// so a divergence in either the physical execution or the SLO accounting
+// trips it.
+type loadFingerprint struct {
+	Rounds        int
+	Events        int
+	Transmissions int
+	Deliveries    int
+	Collisions    int
+	Checksum      uint64
+	Metrics       uint64
+}
+
+// engineChecksum folds every trace event positionally, the same reduction as
+// churn's soak fingerprint.
+func engineChecksum(tr *sim.Trace) uint64 {
+	var checksum uint64
+	i := 0
+	for ev := range tr.Events() {
+		checksum = checksum*1099511628211 ^
+			uint64(ev.Round)<<32 ^ uint64(ev.Node)<<16 ^ uint64(ev.Kind)<<8 ^
+			uint64(int64(ev.From)) ^ uint64(i)
+		i++
+	}
+	return checksum
+}
+
+func loadSoakFingerprint(tr *sim.Trace, m *Metrics) loadFingerprint {
+	return loadFingerprint{
+		Rounds:        tr.RoundsRun,
+		Events:        tr.Len(),
+		Transmissions: tr.Transmissions,
+		Deliveries:    tr.Deliveries,
+		Collisions:    tr.Collisions,
+		Checksum:      engineChecksum(tr),
+		Metrics:       m.Fingerprint(),
+	}
+}
+
+// loadSoakWant pins the soak execution. The open-loop traffic engine must be
+// a pure function of (topology, plan, seed) on every driver and worker
+// count; if an intentional change to the RNG streams, the dispatch order or
+// the metrics folding alters this, update the pinned values and call it out
+// in the change description.
+var loadSoakWant = loadFingerprint{
+	Rounds:        10000,
+	Events:        451151,
+	Transmissions: 165216,
+	Deliveries:    325721,
+	Collisions:    510734,
+	Checksum:      1585439882494357374,
+	Metrics:       9393328552179487621,
+}
+
+// loadSoakRun executes the soak: 10⁴ rounds of Poisson offered load over 150
+// Decay nodes on the soak topology, shallow drop-oldest queues so the
+// eviction path stays hot.
+func loadSoakRun(t testing.TB, driver sim.Driver, workers int) loadFingerprint {
+	t.Helper()
+	d, err := dualgraph.RandomGeometric(150, 6, 6, 1.5, dualgraph.GreyUnreliable, xrand.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Poisson(PoissonConfig{N: d.N(), Rounds: 10_000, Rate: 0.004, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackRounds := baseline.DecayAckRounds(d.Delta(), 0.2)
+	svcs := make([]core.Service, d.N())
+	procs := make([]sim.Process, d.N())
+	for u := range svcs {
+		svcs[u] = baseline.NewDecay(baseline.DecayParams{Delta: d.Delta(), AckRounds: ackRounds})
+		procs[u] = svcs[u]
+	}
+	traffic, err := NewTraffic(Config{
+		Plan: plan, Services: svcs, Capacity: 4, Policy: DropOldest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Dual: d, Procs: procs, Env: traffic,
+		Sched: sched.NewRandom(0.5, 3), Seed: 8,
+		Driver: driver, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Run(plan.Rounds)
+	m := traffic.Metrics()
+	if m.Acks == 0 || m.Offered == 0 {
+		t.Fatalf("degenerate soak: %d offered, %d acks", m.Offered, m.Acks)
+	}
+	return loadSoakFingerprint(eng.Trace(), m)
+}
+
+// TestLoadSoak is the CI soak for the traffic engine: a 10⁴-round offered-
+// load run must reproduce the pinned golden fingerprint on the sequential
+// driver and byte-identically on the worker pool at 1 and 4 workers. Under
+// -race this also exercises the OnAck write path (concurrent deliver across
+// nodes) against the single-threaded AfterRound folding.
+func TestLoadSoak(t *testing.T) {
+	seq := loadSoakRun(t, sim.DriverSequential, 0)
+	if seq != loadSoakWant {
+		t.Errorf("sequential load soak fingerprint changed:\n got  %+v\n want %+v\n"+
+			"(if this change is intentional, update loadSoakWant and explain why)", seq, loadSoakWant)
+	}
+	for _, workers := range []int{1, 4} {
+		if got := loadSoakRun(t, sim.DriverWorkerPool, workers); got != seq {
+			t.Errorf("worker-pool(%d) load soak diverged from sequential:\n got  %+v\n want %+v",
+				workers, got, seq)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TraceSchema identifies the load-trace document layout; bump on
+// incompatible change.
+const TraceSchema = "lbcast-load-trace/v1"
+
+// TraceDoc is the deterministic load trace (lbcast-load-trace/v1): the
+// fully-expanded arrival schedule plus the queue discipline it ran with.
+// Replaying a trace feeds the recorded arrivals back through Traffic
+// verbatim — no generator in the loop — so a replayed run's metrics and
+// engine fingerprint are byte-identical to the recorded run's (the replay
+// round-trip test pins this).
+type TraceDoc struct {
+	Schema string `json:"schema"`
+	// Name labels the workload (a scenario preset or generator name).
+	Name string `json:"name,omitempty"`
+	// Seed is the generator seed the plan was expanded from (informative:
+	// replay uses the recorded arrivals, never re-expands).
+	Seed uint64 `json:"seed"`
+	// Capacity and Policy are the queue discipline of the recorded run.
+	Capacity int    `json:"capacity"`
+	Policy   string `json:"policy"`
+	// N, Rounds and Arrivals are the recorded Plan.
+	N        int       `json:"n"`
+	Rounds   int       `json:"rounds"`
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// RecordTrace captures a plan and its queue discipline as a trace document.
+func RecordTrace(p *Plan, name string, seed uint64, capacity int, policy DropPolicy) *TraceDoc {
+	return &TraceDoc{
+		Schema:   TraceSchema,
+		Name:     name,
+		Seed:     seed,
+		Capacity: capacity,
+		Policy:   policy.String(),
+		N:        p.N,
+		Rounds:   p.Rounds,
+		Arrivals: append([]Arrival(nil), p.Arrivals...),
+	}
+}
+
+// Plan reconstructs the recorded arrival plan.
+func (d *TraceDoc) Plan() *Plan {
+	return &Plan{N: d.N, Rounds: d.Rounds, Arrivals: append([]Arrival(nil), d.Arrivals...)}
+}
+
+// DropPolicy parses the recorded queue policy.
+func (d *TraceDoc) DropPolicy() (DropPolicy, error) { return ParseDropPolicy(d.Policy) }
+
+// WriteJSON renders the trace with stable formatting.
+func (d *TraceDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile writes the trace to a file.
+func (d *TraceDoc) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses and validates a trace document.
+func ReadTrace(r io.Reader) (*TraceDoc, error) {
+	var d TraceDoc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("workload: decoding load trace: %w", err)
+	}
+	if d.Schema != TraceSchema {
+		return nil, fmt.Errorf("workload: trace schema %q, want %q", d.Schema, TraceSchema)
+	}
+	if _, err := d.DropPolicy(); err != nil {
+		return nil, err
+	}
+	if err := d.Plan().Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// ReadTraceFile reads a trace from a file.
+func ReadTraceFile(path string) (*TraceDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
