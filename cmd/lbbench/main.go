@@ -24,6 +24,7 @@ func main() {
 		noteFlag  = flag.String("note", "", "free-form note recorded in -benchjson (e.g. the baseline being compared against)")
 		sweep     = flag.Bool("sweep", false, "run the engine scaling sweep (n × scheduler × driver)")
 		sweepN    = flag.String("sweepn", "100,1000,10000,100000", "comma-separated network sizes for -sweep")
+		sweepMax  = flag.Int("sweepmax", 0, "append one extra network size to -sweepn (e.g. 1000000 for the million-node row; sizes beyond 100000 run the bounded never-scheduler smoke without a SINR row)")
 		sweepP    = flag.Float64("sweepp", 0.1, "per-node transmit probability for -sweep")
 		sweepW    = flag.String("sweepworkers", "", "comma-separated worker-pool sizes for -sweep's workerpool rows (default: GOMAXPROCS); the multi-core CI matrix passes 1,2,4 to record the parallel-scatter speedup curve")
 		compare   = flag.Bool("compare", false, "run the algorithm comparison matrix (LBAlg vs SINR layer vs contention baselines) at -size; renders the table, or embeds it in -benchjson")
@@ -64,6 +65,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if *sweepMax > 0 {
+			ns = append(ns, *sweepMax)
 		}
 		var workers []int
 		if *sweepW != "" {
@@ -190,12 +194,15 @@ Modes:
       list experiment IDs
   lbbench -benchjson BENCH_x.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
       measure experiments into a machine-readable BENCH_*.json
-  lbbench -sweep [-sweepn 100,1000] [-sweepworkers 1,2,4] [-compare] [-load] [-benchjson ...]
-      engine scaling sweep (n × scheduler × driver rounds/sec); -compare adds
-      the LBAlg vs SINR-layer vs contention-baseline matrix (E-COMPARE),
-      -load the open-loop traffic knee matrix (E-LOAD)
+  lbbench -sweep [-sweepn 100,1000] [-sweepmax 1000000] [-sweepworkers 1,2,4] [-compare] [-load] [-benchjson ...]
+      engine scaling sweep (n × scheduler × driver rounds/sec, with
+      allocs/round and peak-RSS columns); -sweepmax appends the large-n
+      smoke row; -compare adds the LBAlg vs SINR-layer vs
+      contention-baseline matrix (E-COMPARE), -load the open-loop traffic
+      knee matrix (E-LOAD)
   lbbench -baseline BENCH_x.json -gobench gotest.txt [-gatebench A,B] [-gatelimit 1.20]
-      CI regression gate: fail when a named benchmark's ns/op exceeds
+      CI regression gate: fail when a named benchmark's ns/op — or its
+      allocs/op, when both sides carry -benchmem data — exceeds
       gatelimit × the committed baseline
 
 Flags:
@@ -266,9 +273,29 @@ func runGate(baselinePath, goBenchPath, names string, limit float64) error {
 		}
 		fmt.Printf("%-32s baseline %12.0f ns/op  current %12.0f ns/op  ratio %.3f  %s\n",
 			name, baseNs, curNs, ratio, status)
+		// Allocation gate: allocs/op is near-deterministic, so the same
+		// ratio limit catches accidental per-round allocations long before
+		// they show up in wall time. Skipped when either side lacks
+		// -benchmem data (older baselines).
+		baseAllocs, ok := base.MinGoBenchAllocs(name)
+		if !ok {
+			continue
+		}
+		curAllocs, ok := cur.MinGoBenchAllocs(name)
+		if !ok {
+			continue
+		}
+		aRatio := float64(curAllocs) / float64(baseAllocs)
+		status = "ok"
+		if aRatio > limit {
+			status = fmt.Sprintf("REGRESSION (> %.2fx)", limit)
+			failed++
+		}
+		fmt.Printf("%-32s baseline %12d allocs/op current %11d allocs/op ratio %.3f  %s\n",
+			"", baseAllocs, curAllocs, aRatio, status)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx of %s", failed, limit, baselinePath)
+		return fmt.Errorf("%d benchmark measurement(s) regressed beyond %.2fx of %s", failed, limit, baselinePath)
 	}
 	return nil
 }

@@ -299,7 +299,7 @@ func (l *LBAlg) beginPhase(phase int) {
 		rounds := l.plan.BodyRounds(phase)
 		if l.state == StateSending {
 			if l.coinsBehind > 0 {
-				l.plan.skipCoins(l.committed, &l.coins, l.coinsBehind)
+				l.plan.skipCoins(l.committed, l.coinsBehind)
 				l.coinsBehind = 0
 			}
 			l.plan.decodeCoins(l.committed, &l.coins, rounds)

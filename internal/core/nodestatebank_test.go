@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// captureRec is a Recorder that appends every event to a per-node list, so
+// the lockstep test can compare the bank's full event streams (hear, recv,
+// ack, bcast) against the per-node oracle's, not just the callback outputs.
+type captureRec struct{ evs *[]sim.Event }
+
+func (r captureRec) Record(ev sim.Event) { *r.evs = append(*r.evs, ev) }
+
+// TestNodeStateBankLockstep drives a NodeStateBank and a per-node LBAlg
+// array through identical lossy executions — same per-node randomness, same
+// staggered bcast schedule, same single-hop channel with drops, a crash
+// window for one node — and requires byte-identical behavior: every round's
+// transmit decision and payload, every recorded event, every recv and ack
+// callback, Active/State, and the body-round statistics. The bank side runs
+// through the batch TransmitRange/ReceiveRange surface (split into two
+// ranges per phase, as the worker-pool driver would call it), so the test
+// pins both the column port and the RoundView contract, at the paper's
+// k = 1 schedule and the Section 4.2 k = 3 variant whose mid-cycle sender
+// arrivals exercise the deferred decode and cursor-debt settlement.
+func TestNodeStateBankLockstep(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		seedEvery int
+	}{
+		{"paper-k1", 1},
+		{"ablation-k3", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 6
+			p, err := DeriveParams(8, 8, 1, 0.25, WithSeedEveryKPhases(tc.seedEvery))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := NewPhasePlan(p)
+
+			bank := NewNodeStateBank(plan, n)
+			oracle := make([]*LBAlg, n)
+			bankEvs := make([][]sim.Event, n)
+			oracleEvs := make([][]sim.Event, n)
+			var bankAcks, oracleAcks [][]sim.MsgID
+			var bankRecvs, oracleRecvs [][]sim.MsgID
+			for u := 0; u < n; u++ {
+				env := func(evs *[]sim.Event) *sim.NodeEnv {
+					return &sim.NodeEnv{ID: u, Delta: 8, DeltaPrime: 8, R: 1,
+						Rng: xrand.NodeSource(7, u), Rec: captureRec{evs}}
+				}
+				bank.Node(u).Init(env(&bankEvs[u]))
+				oracle[u] = NewLBAlgWithPlan(plan)
+				oracle[u].Init(env(&oracleEvs[u]))
+				bankAcks, oracleAcks = append(bankAcks, nil), append(oracleAcks, nil)
+				bankRecvs, oracleRecvs = append(bankRecvs, nil), append(oracleRecvs, nil)
+				uu := u
+				bank.Node(u).SetOnAck(func(m Message) { bankAcks[uu] = append(bankAcks[uu], m.ID) })
+				bank.Node(u).SetOnRecv(func(m Message, _ int) { bankRecvs[uu] = append(bankRecvs[uu], m.ID) })
+				oracle[u].SetOnAck(func(m Message) { oracleAcks[uu] = append(oracleAcks[uu], m.ID) })
+				oracle[u].SetOnRecv(func(m Message, _ int) { oracleRecvs[uu] = append(oracleRecvs[uu], m.ID) })
+			}
+
+			view := sim.RoundView{
+				Payloads: make([]any, n),
+				Transmit: make([]bool, n),
+				Rx:       make([]sim.RxSlot, n),
+				Down:     make([]bool, n),
+			}
+			oPayloads := make([]any, n)
+			oTransmit := make([]bool, n)
+
+			rounds := (2*tc.seedEvery + 2) * p.Tack * p.PhaseLen()
+			// Crash node 2's radio for a window in the middle of the run: both
+			// sides must skip it identically (no RNG draws, no receptions).
+			downFrom, downTo := rounds/3, rounds/2
+			loss := xrand.New(41)
+			for tr := 1; tr <= rounds; tr++ {
+				if tr%(p.PhaseLen()/2+3) == 0 {
+					u := tr % n
+					idBank, errBank := bank.Node(u).Bcast(tr)
+					idOracle, errOracle := oracle[u].Bcast(tr)
+					if (errBank == nil) != (errOracle == nil) || idBank != idOracle {
+						t.Fatalf("round %d: bcast diverged (bank %v/%v, oracle %v/%v)",
+							tr, idBank, errBank, idOracle, errOracle)
+					}
+				}
+				view.Down[2] = tr >= downFrom && tr < downTo
+
+				// Transmit phase: bank through the batch surface in two
+				// ranges, oracle per node with the engine's stepTx semantics.
+				mid := n / 2
+				bank.TransmitRange(tr, 0, mid, &view)
+				bank.TransmitRange(tr, mid, n, &view)
+				for u := 0; u < n; u++ {
+					if view.Down[u] {
+						oPayloads[u], oTransmit[u] = nil, false
+						continue
+					}
+					oPayloads[u], oTransmit[u] = oracle[u].Transmit(tr)
+				}
+				from := -1
+				tx := 0
+				for u := 0; u < n; u++ {
+					if view.Transmit[u] != oTransmit[u] {
+						t.Fatalf("round %d node %d: transmit decision diverged (bank %v, oracle %v)",
+							tr, u, view.Transmit[u], oTransmit[u])
+					}
+					if view.Transmit[u] {
+						if !samePayload(view.Payloads[u], oPayloads[u]) {
+							t.Fatalf("round %d node %d: payload diverged (%v vs %v)",
+								tr, u, view.Payloads[u], oPayloads[u])
+						}
+						from, tx = u, tx+1
+					}
+				}
+
+				// Reception: single-transmitter rounds deliver to everyone
+				// unless the lossy channel drops them. Rx slots are stamped
+				// for every node (including the transmitter) — the Transmit
+				// guard in ReceiveRange must filter, as the engine's deliver
+				// does.
+				deliver := tx == 1 && !loss.Coin(0.3)
+				if deliver {
+					for u := 0; u < n; u++ {
+						view.Rx[u] = sim.RxSlot{Stamp: int32(tr), Count: 1, From: int32(from)}
+					}
+				}
+				bank.ReceiveRange(tr, 0, mid, &view)
+				bank.ReceiveRange(tr, mid, n, &view)
+				for u := 0; u < n; u++ {
+					if view.Down[u] {
+						continue
+					}
+					if deliver && u != from {
+						oracle[u].Receive(tr, from, oPayloads[from], true)
+					} else {
+						oracle[u].Receive(tr, sim.NoTransmitter, nil, false)
+					}
+				}
+			}
+
+			sent := 0
+			for u := 0; u < n; u++ {
+				if got, want := bank.Node(u).Active(), oracle[u].Active(); got != want {
+					t.Errorf("node %d: Active diverged (bank %v, oracle %v)", u, got, want)
+				}
+				if got, want := bank.Node(u).State(), oracle[u].State(); got != want {
+					t.Errorf("node %d: State diverged (bank %v, oracle %v)", u, got, want)
+				}
+				pb, tb := bank.Node(u).BodyStats()
+				po, to := oracle[u].BodyStats()
+				if pb != po || tb != to {
+					t.Errorf("node %d: body stats diverged (bank %d/%d, oracle %d/%d)", u, pb, tb, po, to)
+				}
+				sent += tb
+				if len(bankEvs[u]) != len(oracleEvs[u]) {
+					t.Fatalf("node %d: %d events vs oracle %d", u, len(bankEvs[u]), len(oracleEvs[u]))
+				}
+				for i := range bankEvs[u] {
+					if bankEvs[u][i] != oracleEvs[u][i] {
+						t.Errorf("node %d event %d: %+v vs oracle %+v", u, i, bankEvs[u][i], oracleEvs[u][i])
+					}
+				}
+				if len(bankAcks[u]) != len(oracleAcks[u]) {
+					t.Fatalf("node %d: %d acks vs oracle %d", u, len(bankAcks[u]), len(oracleAcks[u]))
+				}
+				for i := range bankAcks[u] {
+					if bankAcks[u][i] != oracleAcks[u][i] {
+						t.Errorf("node %d ack %d: %v vs oracle %v", u, i, bankAcks[u][i], oracleAcks[u][i])
+					}
+				}
+				if len(bankRecvs[u]) != len(oracleRecvs[u]) {
+					t.Fatalf("node %d: %d recvs vs oracle %d", u, len(bankRecvs[u]), len(oracleRecvs[u]))
+				}
+				for i := range bankRecvs[u] {
+					if bankRecvs[u][i] != oracleRecvs[u][i] {
+						t.Errorf("node %d recv %d: %v vs oracle %v", u, i, bankRecvs[u][i], oracleRecvs[u][i])
+					}
+				}
+			}
+			if sent == 0 {
+				t.Error("execution produced no data transmissions; equivalence vacuous")
+			}
+		})
+	}
+}

@@ -197,7 +197,7 @@ func (pl *PhasePlan) decodeCoins(seed *xrand.BitString, c *phaseCoins, rounds in
 	}
 	c.b = c.b[:rounds]
 	c.valid = true
-	pl.walkCoins(seed, c.b, c, rounds)
+	pl.walkCoins(seed, c.b, &c.raw, rounds)
 }
 
 // skipCoins advances seed's cursor over `rounds` body rounds' worth of
@@ -206,14 +206,17 @@ func (pl *PhasePlan) decodeCoins(seed *xrand.BitString, c *phaseCoins, rounds in
 // cursor up when it enters the sending state (the decoded values are never
 // read while receiving, but which bits the next phase starts at depends on
 // them).
-func (pl *PhasePlan) skipCoins(seed *xrand.BitString, c *phaseCoins, rounds int) {
-	pl.walkCoins(seed, nil, c, rounds)
+func (pl *PhasePlan) skipCoins(seed *xrand.BitString, rounds int) {
+	pl.walkCoins(seed, nil, nil, rounds)
 }
 
-// walkCoins is the shared word-level pass behind decodeCoins and
-// skipCoins: dst receives the per-round coin bytes when non-nil and the
-// cursor advance is identical either way.
-func (pl *PhasePlan) walkCoins(seed *xrand.BitString, dst []uint8, c *phaseCoins, rounds int) {
+// walkCoins is the shared word-level pass behind decodeCoins, skipCoins and
+// the state bank's slab decode (NodeStateBank decodes into flat per-node
+// column segments rather than a phaseCoins): dst receives the per-round coin
+// bytes when non-nil, raw points at the caller's reusable word scratch for
+// the pure-K1 bulk path (unused when dst is nil), and the cursor advance is
+// identical either way.
+func (pl *PhasePlan) walkCoins(seed *xrand.BitString, dst []uint8, raw *[]uint64, rounds int) {
 	if pl.k2 == 0 && pl.k1 > 0 {
 		// Pure fixed-width stream (log Δ = 1, so b is always 1 and no
 		// selection bits exist): one bulk ConsumeMany sweep, or a plain
@@ -226,13 +229,13 @@ func (pl *PhasePlan) walkCoins(seed *xrand.BitString, dst []uint8, c *phaseCoins
 			seed.Skip(m * pl.k1)
 			return
 		}
-		if cap(c.raw) < m {
-			c.raw = make([]uint64, m)
+		if cap(*raw) < m {
+			*raw = make([]uint64, m)
 		}
-		c.raw = c.raw[:m]
-		seed.ConsumeMany(pl.k1, c.raw)
-		for j := 0; j < m; j++ {
-			if c.raw[j] == 0 {
+		*raw = (*raw)[:m]
+		seed.ConsumeMany(pl.k1, *raw)
+		for j, w := range *raw {
+			if w == 0 {
 				dst[j] = 1
 			} else {
 				dst[j] = 0

@@ -142,8 +142,7 @@ func TestDecodeCoinsMatchesIncrementalConsume(t *testing.T) {
 		if got.Remaining() != ref.Remaining() {
 			return false
 		}
-		var cs phaseCoins
-		pl.skipCoins(skp, &cs, rounds)
+		pl.skipCoins(skp, rounds)
 		return skp.Remaining() == ref.Remaining()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {

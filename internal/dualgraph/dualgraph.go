@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lbcast/internal/geo"
+	"lbcast/internal/par"
 )
 
 // Graph is a simple undirected graph over vertices 0..N-1 stored as sorted
@@ -59,8 +60,25 @@ func insertSorted(s []int32, v int32) []int32 {
 // into an empty graph (the dualgraph tests pin that equivalence against the
 // sorted-insert oracle).
 func NewGraphFromEdges(n int, edges []Edge) *Graph {
+	return NewGraphFromEdgesWorkers(n, edges, 1)
+}
+
+// parallelSortMinArcs is the arc count (2m) below which sharding the
+// per-node sort/dedupe pass is not worth the fork-join.
+const parallelSortMinArcs = 1 << 15
+
+// NewGraphFromEdgesWorkers is NewGraphFromEdges with the per-node
+// sort-and-compact pass — the O(m log Δ) bulk of the build — sharded over
+// contiguous vertex ranges on the given number of workers. Nodes are
+// independent there, so the result is identical for every worker count.
+// The counting and scatter passes stay sequential (two O(m) sweeps), but
+// the adjacency lists now carve one shared arena instead of one allocation
+// per node: backing[off(u):off(u+1)] with the capacity clamped three-index
+// style, so a later sorted insert into a compacted list can never grow into
+// its neighbor's segment.
+func NewGraphFromEdgesWorkers(n int, edges []Edge, workers int) *Graph {
 	g := NewGraph(n)
-	deg := make([]int32, n)
+	off := make([]int32, n+1)
 	for _, e := range edges {
 		u, v := int(e.U), int(e.V)
 		if u == v {
@@ -69,29 +87,40 @@ func NewGraphFromEdges(n int, edges []Edge) *Graph {
 		if u < 0 || v < 0 || u >= n || v >= n {
 			panic(fmt.Sprintf("dualgraph: edge {%d,%d} out of range [0,%d)", u, v, n))
 		}
-		deg[u]++
-		deg[v]++
+		off[u+1]++
+		off[v+1]++
 	}
-	for u := range g.adj {
-		if deg[u] > 0 {
-			g.adj[u] = make([]int32, 0, deg[u])
-		}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
 	}
+	backing := make([]int32, off[n])
+	cur := make([]int32, n)
+	copy(cur, off[:n])
 	for _, e := range edges {
 		if e.U == e.V {
 			continue
 		}
-		g.adj[e.U] = append(g.adj[e.U], e.V)
-		g.adj[e.V] = append(g.adj[e.V], e.U)
+		backing[cur[e.U]] = e.V
+		cur[e.U]++
+		backing[cur[e.V]] = e.U
+		cur[e.V]++
 	}
-	for u := range g.adj {
-		s := g.adj[u]
-		if len(s) < 2 {
-			continue
+	if int(off[n]) < parallelSortMinArcs {
+		workers = 1
+	}
+	par.Ranges(n, workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s := backing[off[u]:off[u+1]:off[u+1]]
+			if len(s) == 0 {
+				continue
+			}
+			if len(s) >= 2 {
+				slices.Sort(s)
+				s = slices.Compact(s)
+			}
+			g.adj[u] = s
 		}
-		slices.Sort(s)
-		g.adj[u] = slices.Compact(s)
-	}
+	})
 	return g
 }
 

@@ -1,0 +1,71 @@
+package dualgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"lbcast/internal/xrand"
+)
+
+// TestNewGraphFromEdgesWorkersIdentical: the arena-backed parallel build must
+// produce the same adjacency structure as the sequential one for any worker
+// count, including duplicate edges, both orientations of the same pair, and
+// self-loops. The edge count clears parallelSortMinArcs so the sharded
+// sort/compact pass actually runs.
+func TestNewGraphFromEdgesWorkersIdentical(t *testing.T) {
+	const n, m = 3000, 40000
+	rng := xrand.New(17)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if i%251 == 0 {
+			v = u // self-loop, must be ignored
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	want := NewGraphFromEdges(n, edges)
+	for _, workers := range []int{2, 3, 8} {
+		got := NewGraphFromEdgesWorkers(n, edges, workers)
+		for u := 0; u < n; u++ {
+			if !reflect.DeepEqual(nonNil(got.Neighbors(u)), nonNil(want.Neighbors(u))) {
+				t.Fatalf("workers=%d: adjacency of %d differs: %v vs %v",
+					workers, u, got.Neighbors(u), want.Neighbors(u))
+			}
+		}
+	}
+}
+
+// TestRandomGeometricWorkersIdentical pins the determinism contract of the
+// sharded geometric construction: for every grey policy and worker count the
+// dual is structurally identical to the sequential build from the same seed.
+// n clears parallelScanMinVertices so the sharded pair scan actually runs
+// (GreyMixed scans sequentially by design — its rng draw order is part of
+// the topology — but still exercises the parallel CSR assembly).
+func TestRandomGeometricWorkersIdentical(t *testing.T) {
+	const (
+		n    = parallelScanMinVertices + 500
+		side = 60.0
+		r    = 1.8
+	)
+	for _, policy := range []GreyPolicy{GreyUnreliable, GreyNone, GreyReliable, GreyMixed} {
+		want, err := RandomGeometric(n, side, side, r, policy, xrand.New(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 7} {
+			got, err := RandomGeometricWorkers(n, side, side, r, policy, xrand.New(23), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < n; u++ {
+				if !reflect.DeepEqual(nonNil(got.G.Neighbors(u)), nonNil(want.G.Neighbors(u))) {
+					t.Fatalf("policy=%d workers=%d: G adjacency of %d differs", policy, workers, u)
+				}
+				if !reflect.DeepEqual(nonNil(got.Gp.Neighbors(u)), nonNil(want.Gp.Neighbors(u))) {
+					t.Fatalf("policy=%d workers=%d: G' adjacency of %d differs", policy, workers, u)
+				}
+			}
+		}
+	}
+}

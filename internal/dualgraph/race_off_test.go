@@ -1,0 +1,7 @@
+//go:build !race
+
+package dualgraph
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. See race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package dualgraph
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Timing-ratio assertions loosen their floors under it: the
+// detector taxes the patch path's arena-slice copies far more than the
+// rebuild's bulk construction, so the measured ratio says little about
+// the uninstrumented code.
+const raceEnabled = true

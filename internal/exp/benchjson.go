@@ -93,6 +93,27 @@ func (f BenchFile) MinGoBenchNs(name string) (float64, bool) {
 	return best, ok
 }
 
+// MinGoBenchAllocs returns the minimum allocs/op recorded for the named
+// go-test benchmark, or ok=false if no entry carries allocation data (the
+// run lacked -benchmem, or the baseline predates the allocation gate).
+// Name matching follows MinGoBenchNs.
+func (f BenchFile) MinGoBenchAllocs(name string) (int64, bool) {
+	best, ok := int64(0), false
+	for _, b := range f.GoTest {
+		base := b.Name
+		if i := strings.IndexByte(base, '-'); i >= 0 {
+			base = base[:i]
+		}
+		if base != name || b.AllocsPerOp == 0 {
+			continue
+		}
+		if !ok || b.AllocsPerOp < best {
+			best, ok = b.AllocsPerOp, true
+		}
+	}
+	return best, ok
+}
+
 // MeasureExperiment runs the experiment iters times (varying the seed per
 // iteration, like the root benchmarks do) and reports wall time and
 // allocation cost per run.

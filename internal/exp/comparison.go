@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"slices"
 
 	"lbcast/internal/baseline"
@@ -167,6 +168,11 @@ type comparisonContender struct {
 	build     func(u int) core.Service
 }
 
+// comparisonSpillMinNodeRounds is the n·rounds volume beyond which a
+// comparison run spills its trace to disk. Small points (the unit-test
+// sizes) keep everything in memory.
+const comparisonSpillMinNodeRounds = 1 << 22
+
 // runComparisonPoint runs every contender on one topology instance.
 func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]ComparisonRow, error) {
 	// The PR 2 sweep geometry: constant density ≈ 4 nodes per unit square.
@@ -282,8 +288,23 @@ func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]Compa
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
+		// Large points spill sealed trace chunks to disk: the n = 4000
+		// full-size row runs a ~190k-round budget whose event history would
+		// otherwise dominate resident memory. The summary pass below reads
+		// the trace once in order, which rehydrates spilled chunks through
+		// the one-chunk cache; a spill setup failure just keeps the trace
+		// in memory.
+		if int64(n)*int64(rounds) >= comparisonSpillMinNodeRounds {
+			if err := engine.Trace().SpillToDisk(""); err != nil {
+				fmt.Fprintf(os.Stderr, "exp: comparison trace spill disabled: %v\n", err)
+			}
+		}
 		engine.Run(rounds)
 		row := summarizeComparisonRun(engine.Trace(), rounds, c.neighbors)
+		if err := engine.Trace().SpillError(); err != nil {
+			fmt.Fprintf(os.Stderr, "exp: comparison trace spill degraded: %v\n", err)
+		}
+		engine.Trace().CloseSpill()
 		row.Topology = "sweep-geometric"
 		row.N = n
 		row.Algorithm = c.name

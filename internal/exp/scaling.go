@@ -32,6 +32,13 @@ type SweepPoint struct {
 	Rounds       int     `json:"rounds"`
 	NsPerRound   int64   `json:"ns_per_round"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Memory telemetry per row: heap allocations amortised over the timed
+	// rounds (runtime.MemStats deltas) and the process's peak RSS when the
+	// row finished (getrusage high-water mark, monotone across rows — the
+	// largest n's rows carry the headline number).
+	AllocsPerRound     int64   `json:"allocs_per_round,omitempty"`
+	AllocBytesPerRound int64   `json:"alloc_bytes_per_round,omitempty"`
+	PeakRSSMB          float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // sweepSINRTolerance is the truncation tolerance of the sweep's SINR rows:
@@ -39,6 +46,13 @@ type SweepPoint struct {
 // the default calibration) resolve exactly as the O(n·|txs|) resolver would,
 // which is what lets the SINR physical layer ride the n = 10⁵ sweep.
 const sweepSINRTolerance = 0.05
+
+// sweepFullMaxN bounds the full scheduler × driver × SINR matrix. Beyond it
+// (the million-node row) the sweep runs the bounded smoke instead: never
+// scheduler only, no SINR row — raw engine throughput and the memory
+// high-water mark are the signal at that scale, and the full matrix would
+// multiply a minutes-long row without adding information.
+const sweepFullMaxN = 100_000
 
 // sweepProc is the synthetic workload of the sweep: transmit by private coin
 // with a pre-boxed payload, record a hear event per reception. It exercises
@@ -48,10 +62,18 @@ type sweepProc struct {
 	env     *sim.NodeEnv
 	p       float64
 	payload any
+	bank    *sweepBank
 }
 
 // Init implements sim.Process.
-func (s *sweepProc) Init(env *sim.NodeEnv) { s.env = env; s.payload = env.ID }
+func (s *sweepProc) Init(env *sim.NodeEnv) {
+	s.env = env
+	s.payload = env.ID
+	if s.bank != nil {
+		s.bank.envs[env.ID] = env
+		s.bank.payloads[env.ID] = s.payload
+	}
+}
 
 // Transmit implements sim.Process: a private coin at the sweep probability.
 func (s *sweepProc) Transmit(t int) (any, bool) {
@@ -62,6 +84,43 @@ func (s *sweepProc) Transmit(t int) (any, bool) {
 func (s *sweepProc) Receive(t, from int, payload any, ok bool) {
 	if ok {
 		s.env.Rec.Record(sim.Event{Round: t, Node: s.env.ID, Kind: sim.EvHear, From: from})
+	}
+}
+
+// sweepBank is the struct-of-arrays form of the sweep workload: one linear
+// pass per range over flat env/payload columns, replacing the two interface
+// dispatches per node per round of the Process path. The decisions and
+// events are exactly sweepProc's — same rng draw per node in index order,
+// same hear events — so banked and per-node rows measure the identical
+// execution; only the dispatch cost differs. This is the workload-side half
+// of the batch path (the protocol-side half is core.NodeStateBank).
+type sweepBank struct {
+	p        float64
+	envs     []*sim.NodeEnv
+	payloads []any
+}
+
+// TransmitRange implements sim.ProcessBank.
+func (b *sweepBank) TransmitRange(t, lo, hi int, v *sim.RoundView) {
+	for u := lo; u < hi; u++ {
+		if v.Down != nil && v.Down[u] {
+			v.Payloads[u], v.Transmit[u] = nil, false
+			continue
+		}
+		v.Payloads[u], v.Transmit[u] = b.payloads[u], b.envs[u].Rng.Coin(b.p)
+	}
+}
+
+// ReceiveRange implements sim.ProcessBank.
+func (b *sweepBank) ReceiveRange(t, lo, hi int, v *sim.RoundView) {
+	t32 := int32(t)
+	for u := lo; u < hi; u++ {
+		if v.Down != nil && v.Down[u] {
+			continue
+		}
+		if rx := &v.Rx[u]; !v.Transmit[u] && rx.Stamp == t32 && rx.Count == 1 {
+			b.envs[u].Rec.Record(sim.Event{Round: t, Node: u, Kind: sim.EvHear, From: int(rx.From)})
+		}
 	}
 }
 
@@ -122,10 +181,14 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]Sw
 			return nil, nil, fmt.Errorf("exp: sweep n=%d too small", n)
 		}
 		// Constant density ≈ 4 nodes per unit square keeps Δ and Δ′ flat
-		// across the sweep.
+		// across the sweep. Construction shards across GOMAXPROCS workers
+		// (structurally identical to the sequential build; the dualgraph
+		// tests pin this), which is what lets the million-node row finish
+		// its build in seconds.
+		buildWorkers := runtime.GOMAXPROCS(0)
 		side := math.Max(4, math.Sqrt(float64(n)/4))
 		start := time.Now()
-		d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+		d, err := dualgraph.RandomGeometricWorkers(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed), buildWorkers)
 		buildNs := time.Since(start).Nanoseconds()
 		if err != nil {
 			return nil, nil, err
@@ -136,35 +199,44 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]Sw
 		}
 		cons = append(cons, ConstructionPoint{
 			N:          n,
+			Workers:    buildWorkers,
 			BuildNs:    buildNs,
 			ValidateNs: time.Since(start).Nanoseconds(),
 			Edges:      d.Gp.EdgeCount(),
 			Unreliable: len(d.UnreliableEdges()),
+			PeakRSSMB:  peakRSSMB(),
 		})
 		rounds := sweepRounds(n)
 		measure := func(name, driver string, workers int, cfg sim.Config) error {
+			bank := &sweepBank{p: txProb, envs: make([]*sim.NodeEnv, n), payloads: make([]any, n)}
 			procs := make([]sim.Process, n)
 			for u := range procs {
-				procs[u] = &sweepProc{p: txProb}
+				procs[u] = &sweepProc{p: txProb, bank: bank}
 			}
-			cfg.Dual, cfg.Procs, cfg.Seed = d, procs, seed
+			cfg.Dual, cfg.Procs, cfg.Bank, cfg.Seed = d, procs, bank, seed
 			e, err := sim.New(cfg)
 			if err != nil {
 				return err
 			}
 			e.Run(5) // warm scratch, shards, buckets and trace chunks
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			e.Run(rounds)
 			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
 			e.Close()
 			nsPerRound := elapsed.Nanoseconds() / int64(rounds)
 			point := SweepPoint{
-				N:          n,
-				Scheduler:  name,
-				Driver:     driver,
-				Workers:    workers,
-				Rounds:     rounds,
-				NsPerRound: nsPerRound,
+				N:                  n,
+				Scheduler:          name,
+				Driver:             driver,
+				Workers:            workers,
+				Rounds:             rounds,
+				NsPerRound:         nsPerRound,
+				AllocsPerRound:     int64(after.Mallocs-before.Mallocs) / int64(rounds),
+				AllocBytesPerRound: int64(after.TotalAlloc-before.TotalAlloc) / int64(rounds),
+				PeakRSSMB:          peakRSSMB(),
 			}
 			if nsPerRound > 0 {
 				point.RoundsPerSec = 1e9 / float64(nsPerRound)
@@ -173,12 +245,18 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]Sw
 			return nil
 		}
 		for _, sc := range schedulers {
+			if n > sweepFullMaxN && sc.name != "never" {
+				continue // bounded large-n smoke: never scheduler only
+			}
 			for _, dr := range drivers {
 				if err := measure(sc.name, dr.name, dr.workers,
 					sim.Config{Sched: sc.s, Driver: dr.d, Workers: dr.workers}); err != nil {
 					return nil, nil, err
 				}
 			}
+		}
+		if n > sweepFullMaxN {
+			continue // SINR model memory and setup are not sized for 10⁶
 		}
 		// SINR physical-layer row: same embedding, same workload, rounds
 		// resolved by the SINR model instead of the dual-graph scatter. At
@@ -204,11 +282,13 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]Sw
 func SweepTable(points []SweepPoint) *stats.Table {
 	tbl := &stats.Table{
 		Title:   "engine scaling sweep: rounds/sec by n × scheduler/physical layer × driver",
-		Columns: []string{"n", "scheduler", "driver", "workers", "rounds", "ns/round", "rounds/sec"},
+		Columns: []string{"n", "scheduler", "driver", "workers", "rounds", "ns/round", "rounds/sec", "allocs/round", "peak RSS MB"},
 		Notes: []string{
 			"random geometric graphs at constant density (Δ, Δ′ flat across n); transmit probability 0.1",
 			fmt.Sprintf("sinr rows resolve rounds through the SINR model at tolerance %v (region-bucketed for rounds with ≥ %d transmitters, exact below)",
 				sweepSINRTolerance, sinr.BucketedMinTx),
+			fmt.Sprintf("n > %d rows run the bounded smoke: never scheduler only, no SINR row", sweepFullMaxN),
+			"peak RSS is the process high-water mark when the row finished (monotone across rows)",
 		},
 	}
 	for _, p := range points {
@@ -216,7 +296,8 @@ func SweepTable(points []SweepPoint) *stats.Table {
 		if p.Workers > 0 {
 			w = fmt.Sprintf("%d", p.Workers)
 		}
-		tbl.AddRow(p.N, p.Scheduler, p.Driver, w, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec))
+		tbl.AddRow(p.N, p.Scheduler, p.Driver, w, p.Rounds, p.NsPerRound, fmt.Sprintf("%.0f", p.RoundsPerSec),
+			p.AllocsPerRound, fmt.Sprintf("%.0f", p.PeakRSSMB))
 	}
 	return tbl
 }
@@ -227,26 +308,36 @@ func SweepTable(points []SweepPoint) *stats.Table {
 // that dominated large constructions). RunScalingSweep records one per n
 // while building the topology its round measurements share.
 type ConstructionPoint struct {
-	N          int   `json:"n"`
+	N int `json:"n"`
+	// Workers is the worker count the sharded geometric construction ran
+	// with (GOMAXPROCS at sweep time).
+	Workers    int   `json:"workers,omitempty"`
 	BuildNs    int64 `json:"build_ns"`
 	ValidateNs int64 `json:"validate_ns"`
 	Edges      int   `json:"edges"`
 	Unreliable int   `json:"unreliable_edges"`
+	// PeakRSSMB is the process high-water mark after build + validation.
+	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // ConstructionTable renders construction points for terminal output.
 func ConstructionTable(points []ConstructionPoint) *stats.Table {
 	tbl := &stats.Table{
 		Title:   "dual graph construction: trusted build vs skipped validation cost",
-		Columns: []string{"n", "build ms", "validate ms", "edges (G')", "unreliable"},
+		Columns: []string{"n", "workers", "build ms", "validate ms", "edges (G')", "unreliable", "peak RSS MB"},
 		Notes: []string{
-			"build = RandomGeometric end to end (placement, grid-index pair scan, bulk graph build, trusted assembly)",
+			"build = RandomGeometricWorkers end to end (placement, sharded grid-index pair scan, arena CSR assembly, trusted assembly)",
 			"validate = the full Dual.Validate pass the trusted constructor skips",
 		},
 	}
 	for _, p := range points {
-		tbl.AddRow(p.N, fmt.Sprintf("%.1f", float64(p.BuildNs)/1e6),
-			fmt.Sprintf("%.1f", float64(p.ValidateNs)/1e6), p.Edges, p.Unreliable)
+		w := "-"
+		if p.Workers > 0 {
+			w = fmt.Sprintf("%d", p.Workers)
+		}
+		tbl.AddRow(p.N, w, fmt.Sprintf("%.1f", float64(p.BuildNs)/1e6),
+			fmt.Sprintf("%.1f", float64(p.ValidateNs)/1e6), p.Edges, p.Unreliable,
+			fmt.Sprintf("%.0f", p.PeakRSSMB))
 	}
 	return tbl
 }

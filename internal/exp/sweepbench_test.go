@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// benchSweepRow measures one n = 10⁵ sweep row (never scheduler,
+// sequential driver) through either workload path: banked=false is the
+// per-node Process path (two interface dispatches per node per round),
+// banked=true the sweepBank batch path the real sweep runs. The pair keeps
+// the dispatch-overhead gap visible outside full lbbench runs.
+func benchSweepRow(b *testing.B, banked bool) {
+	n := 100000
+	side := math.Max(4, math.Sqrt(float64(n)/4))
+	d, err := dualgraph.RandomGeometricWorkers(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bank *sweepBank
+	if banked {
+		bank = &sweepBank{p: 0.1, envs: make([]*sim.NodeEnv, n), payloads: make([]any, n)}
+	}
+	procs := make([]sim.Process, n)
+	for u := range procs {
+		procs[u] = &sweepProc{p: 0.1, bank: bank}
+	}
+	cfg := sim.Config{Dual: d, Procs: procs, Seed: 1, Sched: sched.Never{}}
+	if banked {
+		cfg.Bank = bank
+	}
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(5)
+	b.ResetTimer()
+	start := time.Now()
+	e.Run(b.N)
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N), "ns/round")
+}
+
+func BenchmarkSweepRow100k(b *testing.B)       { benchSweepRow(b, false) }
+func BenchmarkSweepRow100kBanked(b *testing.B) { benchSweepRow(b, true) }

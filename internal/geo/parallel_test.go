@@ -1,0 +1,39 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+
+	"lbcast/internal/xrand"
+)
+
+// TestBuildGridIndexWorkersIdentical pins the determinism contract of the
+// sharded build: for any worker count the resulting index is structurally
+// identical to the sequential one — same bounds, keys, CSR layout, member
+// order, and vertex→region table — in both dense and sparse mode. The
+// embedding is large enough to clear parallelKeysMinVertices so the sharded
+// pass actually runs.
+func TestBuildGridIndexWorkersIdentical(t *testing.T) {
+	n := parallelKeysMinVertices + 777
+	for _, tc := range []struct {
+		name string
+		side float64
+	}{
+		{"dense", 64},     // compact box: dense cell table
+		{"sparse", 40000}, // huge box: sparse fallback
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			emb := randomEmbedding(n, tc.side, xrand.New(41))
+			want := BuildGridIndexWorkers(emb, 1)
+			if (tc.name == "dense") != want.Dense() {
+				t.Fatalf("Dense() = %v for the %s case", want.Dense(), tc.name)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got := BuildGridIndexWorkers(emb, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: index differs from sequential build", workers)
+				}
+			}
+		})
+	}
+}

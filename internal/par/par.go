@@ -1,0 +1,56 @@
+// Package par is the minimal fork-join helper shared by the construction
+// packages (internal/geo, internal/dualgraph), which cannot reach the round
+// engine's persistent worker pool without importing internal/sim (a cycle:
+// sim depends on dualgraph for its topology views). Construction runs once
+// per configuration, so the helper spawns plain goroutines per call instead
+// of parking a pool; the engine's steady-state rounds keep the pool.
+package par
+
+import "sync"
+
+// Do runs fn(w) for w in [0, workers) concurrently and returns when all
+// calls have finished. Worker 0 runs on the calling goroutine. workers ≤ 1
+// degenerates to a plain call, so sequential paths pay nothing.
+func Do(workers int, fn func(w int)) {
+	if workers <= 1 {
+		if workers == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Ranges partitions n items into at most `workers` contiguous chunks and
+// runs fn(w, lo, hi) for each non-empty chunk concurrently. Chunk w covers
+// [w·⌈n/workers⌉, min((w+1)·⌈n/workers⌉, n)) — the same split every sharded
+// path in this repo uses, so merging per-worker results in worker order
+// reproduces a left-to-right sequential pass over the items.
+func Ranges(n, workers int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	active := (n + chunk - 1) / chunk
+	Do(active, func(w int) {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		fn(w, lo, hi)
+	})
+}

@@ -1,0 +1,69 @@
+package sim
+
+// This file is the engine's batch execution surface: a process bank steps
+// contiguous node ranges through the round phases instead of taking one
+// interface call per node. Struct-of-arrays protocol implementations
+// (core.NodeStateBank, the sweep workload) sweep their columns linearly per
+// range, which is where the n = 10⁵–10⁶ rounds/sec headroom lives — the
+// per-node Process path pays two interface dispatches plus a cache miss per
+// node per round before any protocol work happens.
+//
+// Semantics are pinned to the per-node path: a bank must produce exactly the
+// decisions and receptions that calling its per-node handles through Process
+// would have. The engine's driver-equivalence tests and core's lockstep
+// oracle test enforce this bit-for-bit.
+
+// RxSlot is one node's reception state for the current round, written by the
+// scatter (or the reception-model translation) and read at delivery. The
+// three fields used to live in separate parallel arrays; interleaving them
+// puts a delivery decision's loads on one cache line per node. Stamp makes
+// the slots self-clearing: a slot whose Stamp is not the current round holds
+// no receptions.
+type RxSlot struct {
+	// Stamp is the round that last wrote this slot.
+	Stamp int32
+	// Count is the number of transmitting topology neighbors heard.
+	Count int32
+	// From is the transmitter delivered when Count == 1.
+	From int32
+}
+
+// RoundView is the engine state a ProcessBank reads and writes during one
+// round. All slices are indexed by node and owned by the engine; banks must
+// only touch the index range a TransmitRange/ReceiveRange call names.
+type RoundView struct {
+	// Payloads and Transmit receive the transmit-phase decisions:
+	// TransmitRange must fill both for every node in its range, exactly as
+	// Process.Transmit would have through the engine's stepTx.
+	Payloads []any
+	Transmit []bool
+	// Rx holds the resolved reception state, valid during ReceiveRange. A
+	// node hears transmitter Rx[u].From iff it is not itself transmitting,
+	// Rx[u].Stamp equals the current round, and Rx[u].Count == 1; every
+	// other combination is ⊥.
+	Rx []RxSlot
+	// Down is the engine's crashed-node mask; nil when no node has ever been
+	// down. A down node's process must not run: TransmitRange writes
+	// (nil, false) for it without consulting protocol state, ReceiveRange
+	// skips it entirely — mirroring stepTx and deliver.
+	Down []bool
+}
+
+// ProcessBank executes node ranges in batch. Config.Bank supplies one
+// alongside the per-node Procs handles (which remain the Init path, the
+// goroutine-per-node driver's unit, and the oracle for equivalence tests).
+// Range calls for the same phase never overlap and jointly cover [0, n);
+// under the worker-pool driver they run concurrently on disjoint ranges, so
+// a bank's per-node state must be independent across nodes exactly as
+// Process implementations must confine their state.
+type ProcessBank interface {
+	// TransmitRange fixes round t's broadcast decisions for nodes [lo, hi):
+	// for each node u, v.Payloads[u] and v.Transmit[u] exactly as
+	// Process.Transmit(t) would have returned them (and (nil, false) for
+	// down nodes).
+	TransmitRange(t, lo, hi int, v *RoundView)
+	// ReceiveRange delivers round t's reception outcomes to nodes [lo, hi),
+	// resolving each node's outcome from v (see RoundView.Rx) exactly as the
+	// engine's deliver would have, and skipping down nodes.
+	ReceiveRange(t, lo, hi int, v *RoundView)
+}

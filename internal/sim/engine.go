@@ -35,6 +35,13 @@ const (
 type Config struct {
 	Dual  *dualgraph.Dual
 	Procs []Process
+	// Bank, when non-nil, executes the transmit and receive phases in
+	// contiguous node ranges instead of per-node Process calls (see
+	// ProcessBank). Procs must still hold the per-node handles of the same
+	// protocol state: Init runs through them, and the goroutine-per-node
+	// driver keeps stepping them individually. Incompatible with
+	// ReplaceProc (a bank owns all nodes' state; see lifecycle.go).
+	Bank ProcessBank
 	// Sched may be nil: no unreliable edges are ever included.
 	Sched LinkScheduler
 	// Reception, when non-nil, replaces the dual-graph scatter as the
@@ -78,13 +85,11 @@ const (
 const parallelScatterMinTx = 32
 
 // scatterShard is one worker's private reception state for the parallel
-// scatter: counts, first-transmitter and round stamps over all nodes, plus
-// the list of nodes this worker touched this round (so the merge visits
-// only Σ-degree many entries, never all n).
+// scatter: interleaved reception slots over all nodes, plus the list of
+// nodes this worker touched this round (so the merge visits only Σ-degree
+// many entries, never all n).
 type scatterShard struct {
-	count   []int32
-	from    []int32
-	stamp   []int32
+	rx      []RxSlot
 	touched []int32
 	incBuf  []bool
 }
@@ -93,6 +98,7 @@ type scatterShard struct {
 type Engine struct {
 	dual   *dualgraph.Dual
 	procs  []Process
+	bank   ProcessBank // non-nil: batch path for transmit/receive phases
 	sched  LinkScheduler
 	batch  BatchLinkScheduler  // non-nil when sched supports batch fills
 	sparse SparseLinkScheduler // non-nil when sched supports subset queries
@@ -126,12 +132,15 @@ type Engine struct {
 	// happens in the engine.
 	payloads []any
 	transmit []bool
-	included []bool  // unreliable edge inclusion mask (incMask rounds only)
-	txList   []int32 // this round's transmitters, ascending
-	rxCount  []int32 // transmitting neighbors seen by the scatter
-	rxStamp  []int32 // round that last touched rxCount/rxFrom for the node
-	rxFrom   []int32
+	included []bool   // unreliable edge inclusion mask (incMask rounds only)
+	txList   []int32  // this round's transmitters, ascending
+	rx       []RxSlot // per-node reception state written by the scatter
 	recs     []nodeRecorder
+
+	// view is the RoundView handed to the bank; its slice headers alias the
+	// round scratch above and are refreshed each Step (down may appear
+	// mid-run).
+	view RoundView
 
 	maxUDeg int                   // max unreliable degree, sizes IncludedFor scratch
 	incBuf  []bool                // sequential-path IncludedFor scratch
@@ -159,11 +168,13 @@ type Engine struct {
 	// scatterChunk/scatterMode fields to keep dispatch allocation-free.
 	txFn, rxFn    func(u int)
 	poolNodeFn    func(w int)
+	poolBankFn    func(w int)
 	poolScatterFn func(w int)
 	poolResolveFn func(w int)
 	poolTask      func(u int)
 	poolChunk     int
 	poolN         int
+	bankTx        bool // poolBankFn phase selector: transmit vs receive
 	scatterChunk  int
 	scatterMode   inclusionMode
 	resolveChunk  int
@@ -215,6 +226,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		dual:     cfg.Dual,
 		procs:    cfg.Procs,
+		bank:     cfg.Bank,
 		sched:    cfg.Sched,
 		env:      cfg.Env,
 		driver:   driver,
@@ -225,11 +237,10 @@ func New(cfg Config) (*Engine, error) {
 		payloads: make([]any, n),
 		transmit: make([]bool, n),
 		txList:   make([]int32, 0, n),
-		rxCount:  make([]int32, n),
-		rxStamp:  make([]int32, n),
-		rxFrom:   make([]int32, n),
+		rx:       make([]RxSlot, n),
 		recs:     make([]nodeRecorder, n),
 	}
+	e.view = RoundView{Payloads: e.payloads, Transmit: e.transmit, Rx: e.rx}
 	e.seed = cfg.Seed
 	if cfg.Reception != nil {
 		e.recv = cfg.Reception
@@ -271,6 +282,18 @@ func New(cfg Config) (*Engine, error) {
 			e.poolTask(u)
 		}
 	}
+	e.poolBankFn = func(w int) {
+		lo := w * e.poolChunk
+		hi := min(lo+e.poolChunk, e.poolN)
+		if lo >= hi {
+			return
+		}
+		if e.bankTx {
+			e.bank.TransmitRange(e.round, lo, hi, &e.view)
+		} else {
+			e.bank.ReceiveRange(e.round, lo, hi, &e.view)
+		}
+	}
 	e.poolScatterFn = func(w int) {
 		lo := w * e.scatterChunk
 		hi := min(lo+e.scatterChunk, len(e.txList))
@@ -279,7 +302,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		sh := e.shards[w]
 		e.scatterInto(e.round, e.scatterMode, e.txList[lo:hi],
-			sh.count, sh.from, sh.stamp, &sh.touched, sh.incBuf)
+			sh.rx, &sh.touched, sh.incBuf)
 	}
 	e.poolResolveFn = func(w int) {
 		lo := w * e.resolveChunk
@@ -331,14 +354,25 @@ func (e *Engine) Step() {
 		e.env.BeforeRound(t)
 	}
 
-	// Step 2: transmit decisions.
+	// Step 2: transmit decisions. The down mask may have appeared since the
+	// last round (SetDown allocates it lazily), so the bank's view is
+	// refreshed here before any range call reads it.
+	e.view.Down = e.down
 	switch e.driver {
 	case DriverSequential:
-		for u := range e.procs {
-			e.stepTx(u)
+		if e.bank != nil {
+			e.bank.TransmitRange(t, 0, len(e.procs), &e.view)
+		} else {
+			for u := range e.procs {
+				e.stepTx(u)
+			}
 		}
 	case DriverWorkerPool:
-		e.parallelNodes(e.txFn)
+		if e.bank != nil {
+			e.parallelBank(true)
+		} else {
+			e.parallelNodes(e.txFn)
+		}
 	case DriverGoroutinePerNode:
 		e.nodePhase(cmdTransmit)
 	}
@@ -419,7 +453,7 @@ func (e *Engine) Step() {
 
 // finishRound runs the delivery, statistics, trace-drain and environment-
 // output steps shared by the dual-graph scatter and reception-model paths.
-// It expects the per-node reception state (rxStamp/rxCount/rxFrom, touched)
+// It expects the per-node reception state (rx slots, touched)
 // for round t to be fully resolved.
 func (e *Engine) finishRound(t int) {
 	// Delivery mutates process state; each node resolves its own reception
@@ -428,11 +462,19 @@ func (e *Engine) finishRound(t int) {
 	// Under the goroutine-per-node driver each node consumes its own slot.
 	switch e.driver {
 	case DriverSequential:
-		for u := range e.procs {
-			e.deliver(u)
+		if e.bank != nil {
+			e.bank.ReceiveRange(t, 0, len(e.procs), &e.view)
+		} else {
+			for u := range e.procs {
+				e.deliver(u)
+			}
 		}
 	case DriverWorkerPool:
-		e.parallelNodes(e.rxFn)
+		if e.bank != nil {
+			e.parallelBank(false)
+		} else {
+			e.parallelNodes(e.rxFn)
+		}
 	case DriverGoroutinePerNode:
 		e.nodePhase(cmdReceive)
 	}
@@ -447,7 +489,7 @@ func (e *Engine) finishRound(t int) {
 		if e.transmit[u] || (e.down != nil && e.down[u]) {
 			continue
 		}
-		if e.rxCount[u] == 1 {
+		if e.rx[u].Count == 1 {
 			e.trace.Deliveries++
 		} else {
 			e.trace.Collisions++
@@ -472,7 +514,7 @@ func (e *Engine) finishRound(t int) {
 
 // scatter walks the round's transmitters (txList, built in Step) and bumps
 // the reception count of every node they reach through the round topology,
-// recording the (unique, if count stays 1) transmitter in rxFrom. Round
+// recording the (unique, if count stays 1) transmitter in the slot. Round
 // stamps make the count arrays self-clearing: a node whose stamp is stale
 // has count zero. Under the worker-pool driver with enough transmitters the
 // scatter is sharded across workers and merged deterministically.
@@ -482,30 +524,29 @@ func (e *Engine) scatter(t int, mode inclusionMode) {
 		e.scatterParallel(t, mode)
 		return
 	}
-	e.scatterInto(t, mode, e.txList, e.rxCount, e.rxFrom, e.rxStamp, &e.touched, e.incBuf)
+	e.scatterInto(t, mode, e.txList, e.rx, &e.touched, e.incBuf)
 }
 
 // scatterInto walks the given transmitters and accumulates receptions into
-// the supplied count/from/stamp arrays. When touched is non-nil, every node
-// whose stamp transitions to the current round is appended to it (the
-// parallel shards use this to keep the merge proportional to work done).
-// incBuf is the IncludedFor scratch for incSparse rounds.
+// the supplied reception slots. When touched is non-nil, every node whose
+// slot transitions to the current round is appended to it (the parallel
+// shards use this to keep the merge proportional to work done). incBuf is
+// the IncludedFor scratch for incSparse rounds.
 func (e *Engine) scatterInto(t int, mode inclusionMode, txs []int32,
-	count, from, stamp []int32, touched *[]int32, incBuf []bool) {
+	rx []RxSlot, touched *[]int32, incBuf []bool) {
 
 	t32 := int32(t)
 	gOff, gTgt := e.gCSR.Off, e.gCSR.Targets
 	uOff, uPeers, uEdges := e.uCSR.Off, e.uCSR.Peers, e.uCSR.Edges
 	bump := func(u, v int32) {
-		if stamp[u] != t32 {
-			stamp[u] = t32
-			count[u] = 1
-			from[u] = v
+		s := &rx[u]
+		if s.Stamp != t32 {
+			s.Stamp, s.Count, s.From = t32, 1, v
 			if touched != nil {
 				*touched = append(*touched, u)
 			}
 		} else {
-			count[u]++
+			s.Count++
 		}
 	}
 	for _, v := range txs {
@@ -546,7 +587,7 @@ func (e *Engine) scatterInto(t int, mode inclusionMode, txs []int32,
 // pool. Each worker scatters its contiguous txList range into a private
 // shard; the shards are then merged into the engine's reception arrays in
 // worker order. Because shard w's transmitters all precede shard w+1's in
-// txList order, "first worker to touch u wins rxFrom, counts add" reproduces
+// txList order, "first worker to touch u wins From, counts add" reproduces
 // the sequential left-to-right scatter exactly, so traces stay
 // byte-identical.
 func (e *Engine) scatterParallel(t int, mode inclusionMode) {
@@ -568,13 +609,12 @@ func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 	for w := 0; w < active; w++ {
 		sh := e.shards[w]
 		for _, u := range sh.touched {
-			if e.rxStamp[u] != t32 {
-				e.rxStamp[u] = t32
-				e.rxCount[u] = sh.count[u]
-				e.rxFrom[u] = sh.from[u]
+			s, shs := &e.rx[u], &sh.rx[u]
+			if s.Stamp != t32 {
+				s.Stamp, s.Count, s.From = t32, shs.Count, shs.From
 				e.touched = append(e.touched, u)
 			} else {
-				e.rxCount[u] += sh.count[u]
+				s.Count += shs.Count
 			}
 		}
 	}
@@ -583,7 +623,7 @@ func (e *Engine) scatterParallel(t int, mode inclusionMode) {
 // resolveModel asks the reception model for the round's per-node outcomes
 // and translates them into the engine's scatter-count representation, so
 // delivery and the trace statistics run unchanged: a clean reception becomes
-// count 1 with the transmitter in rxFrom, a Blocked outcome becomes count 2
+// count 1 with the transmitter in From, a Blocked outcome becomes count 2
 // (indistinguishable from a dual-graph collision downstream), and silence
 // leaves the node untouched.
 func (e *Engine) resolveModel(t int) {
@@ -601,13 +641,10 @@ func (e *Engine) resolveModel(t int) {
 		}
 		switch {
 		case v >= 0:
-			e.rxStamp[u] = t32
-			e.rxCount[u] = 1
-			e.rxFrom[u] = v
+			e.rx[u] = RxSlot{Stamp: t32, Count: 1, From: v}
 			e.touched = append(e.touched, int32(u))
 		case v == Blocked:
-			e.rxStamp[u] = t32
-			e.rxCount[u] = 2
+			e.rx[u] = RxSlot{Stamp: t32, Count: 2}
 			e.touched = append(e.touched, int32(u))
 		}
 	}
@@ -618,9 +655,7 @@ func (e *Engine) ensureShards(workers int) {
 	n := len(e.procs)
 	for len(e.shards) < workers {
 		e.shards = append(e.shards, &scatterShard{
-			count:  make([]int32, n),
-			from:   make([]int32, n),
-			stamp:  make([]int32, n),
+			rx:     make([]RxSlot, n),
 			incBuf: make([]bool, e.maxUDeg),
 		})
 	}
@@ -637,12 +672,36 @@ func (e *Engine) deliver(u int) {
 		return // a crashed node's process does not run, not even for ⊥
 	}
 	t := e.round
-	if !e.transmit[u] && e.rxStamp[u] == int32(t) && e.rxCount[u] == 1 {
-		from := int(e.rxFrom[u])
+	if s := e.rx[u]; !e.transmit[u] && s.Stamp == int32(t) && s.Count == 1 {
+		from := int(s.From)
 		e.procs[u].Receive(t, from, e.payloads[from], true)
 		return
 	}
 	e.procs[u].Receive(t, NoTransmitter, nil, false)
+}
+
+// parallelBank fans a bank phase out over the persistent worker pool using
+// the same contiguous chunking as parallelNodes, so a bank sees exactly the
+// node ranges the per-node path would have stepped per worker.
+func (e *Engine) parallelBank(tx bool) {
+	n := len(e.procs)
+	workers := e.wrk
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if tx {
+			e.bank.TransmitRange(e.round, 0, n, &e.view)
+		} else {
+			e.bank.ReceiveRange(e.round, 0, n, &e.view)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	active := (n + chunk - 1) / chunk
+	e.poolChunk, e.poolN, e.bankTx = chunk, n, tx
+	e.ensurePool()
+	e.pool.run(active, e.poolBankFn)
 }
 
 // parallelNodes applies fn to every node index using the persistent worker
@@ -801,12 +860,7 @@ func (e *Engine) drainRecorders(t int) {
 	slices.Sort(dirty)
 	for _, u := range dirty {
 		r := &e.recs[u]
-		for _, ev := range r.buf {
-			if ev.Round == 0 {
-				ev.Round = t
-			}
-			e.trace.Record(ev)
-		}
+		e.trace.recordAll(r.buf, t)
 		r.buf = r.buf[:0]
 		r.listed = false
 	}

@@ -93,6 +93,13 @@ func (e *Engine) IsDown(u int) bool { return e.down != nil && e.down[u] }
 // not replay its predecessor's coin flips. The previous process is
 // abandoned mid-state, which is precisely what a crash means.
 func (e *Engine) ReplaceProc(u int, p Process) {
+	if e.bank != nil {
+		// A bank owns every node's protocol state in shared columns; swapping
+		// one node's Process handle cannot reset that state, so the engine
+		// refuses rather than silently diverge. Churn executions use per-node
+		// processes.
+		panic("sim: ReplaceProc is not supported with Config.Bank")
+	}
 	if e.incarn == nil {
 		e.incarn = make([]uint32, len(e.procs))
 	}

@@ -126,6 +126,11 @@ type eventStore struct {
 	// payIdx (ascending) and payVal hold the sparse payload table.
 	payIdx []int32
 	payVal []any
+
+	// spill, when non-nil, moves sealed chunks to disk as they age past the
+	// retention window; entries of chunks are nil for spilled chunks and
+	// reads go through chunk() (see spill.go).
+	spill *traceSpill
 }
 
 // append records one event.
@@ -134,6 +139,7 @@ func (s *eventStore) append(ev Event) {
 	if len(s.chunks) == 0 || len(s.chunks[len(s.chunks)-1].round) == eventChunkLen {
 		c = newEventChunk()
 		s.chunks = append(s.chunks, c)
+		s.maybeSpill()
 	} else {
 		c = s.chunks[len(s.chunks)-1]
 	}
@@ -152,13 +158,60 @@ func (s *eventStore) append(ev Event) {
 	s.n++
 }
 
+// appendAll bulk-records a drained per-node buffer: the chunk-boundary check
+// runs per chunk-sized batch instead of per event, and the engine's
+// stamp-round-0 fixup folds into the same pass. Semantically identical to
+// calling append for each event with ev.Round defaulted to defaultRound.
+func (s *eventStore) appendAll(evs []Event, defaultRound int) {
+	i := 0
+	for i < len(evs) {
+		var c *eventChunk
+		if len(s.chunks) == 0 || len(s.chunks[len(s.chunks)-1].round) == eventChunkLen {
+			c = newEventChunk()
+			s.chunks = append(s.chunks, c)
+			s.maybeSpill()
+		} else {
+			c = s.chunks[len(s.chunks)-1]
+		}
+		// Extend the columns once per batch and fill by index: chunks are
+		// allocated at full capacity, so this replaces five bounds-checked
+		// appends per event with plain stores — the difference is visible in
+		// the n = 10⁵ sweep, where the hear-event drain is a top cost.
+		k := len(c.round)
+		batch := evs[i:min(i+eventChunkLen-k, len(evs))]
+		m := k + len(batch)
+		c.round, c.node, c.kind = c.round[:m], c.node[:m], c.kind[:m]
+		c.from, c.msgID = c.from[:m], c.msgID[:m]
+		for j, ev := range batch {
+			r := ev.Round
+			if r == 0 {
+				r = defaultRound
+			}
+			c.round[k+j] = int32(r)
+			c.node[k+j] = int32(ev.Node)
+			c.kind[k+j] = ev.Kind
+			c.from[k+j] = int32(ev.From)
+			c.msgID[k+j] = ev.MsgID
+			if ev.Payload != nil {
+				s.payIdx = append(s.payIdx, int32(s.n+j))
+				s.payVal = append(s.payVal, ev.Payload)
+			}
+			if k := int(ev.Kind); k >= 0 && k <= numEventKinds {
+				s.kindCount[k]++
+			}
+		}
+		s.n += len(batch)
+		i += len(batch)
+	}
+}
+
 // at reassembles event i from the columns.
 func (s *eventStore) at(i int) Event {
 	ci := i/eventChunkLen - s.droppedChunks
 	if ci < 0 {
 		panic(fmt.Sprintf("sim: event %d was released by Trace.DiscardBefore", i))
 	}
-	c := s.chunks[ci]
+	c := s.chunk(ci)
 	j := i % eventChunkLen
 	ev := Event{
 		Round: int(c.round[j]),
@@ -216,6 +269,13 @@ type RoundStat struct {
 // Record appends an event. It must only be called from engine-owned
 // contexts; protocol code uses the per-node Recorder instead.
 func (tr *Trace) Record(ev Event) { tr.store.append(ev) }
+
+// recordAll appends a batch of events, stamping events with Round 0 (bcast
+// inputs recorded before their round number was known) with defaultRound —
+// the engine's drain path.
+func (tr *Trace) recordAll(evs []Event, defaultRound int) {
+	tr.store.appendAll(evs, defaultRound)
+}
 
 // Len returns the number of recorded events.
 func (tr *Trace) Len() int { return tr.store.n }
@@ -275,7 +335,8 @@ func (tr *Trace) Events() iter.Seq[Event] {
 	return func(yield func(Event) bool) {
 		payIdx, payVal := tr.store.payIdx, tr.store.payVal
 		base, p := tr.store.droppedChunks*eventChunkLen, 0
-		for _, c := range tr.store.chunks {
+		for ci := range tr.store.chunks {
+			c := tr.store.chunk(ci)
 			for j := range c.round {
 				ev := Event{
 					Round: int(c.round[j]),
@@ -338,8 +399,8 @@ func (tr *Trace) ByKind(kind EventKind) []Event {
 // pass sizes the result so the fill pass never reallocates.
 func (tr *Trace) ByNode(node int) []Event {
 	count := 0
-	for _, c := range tr.store.chunks {
-		for _, u := range c.node {
+	for ci := range tr.store.chunks {
+		for _, u := range tr.store.chunk(ci).node {
 			if int(u) == node {
 				count++
 			}

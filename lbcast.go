@@ -147,7 +147,7 @@ func WithDriver(d Driver) Option { return func(o *options) { o.driver = d } }
 type Network struct {
 	dual   *dualgraph.Dual
 	engine *sim.Engine
-	procs  []*core.LBAlg
+	bank   *core.NodeStateBank
 	params core.Params
 
 	onReceive func(node int, d Delivery)
@@ -229,26 +229,25 @@ func assemble(d *dualgraph.Dual, o options) (*Network, error) {
 	}
 	nw := &Network{dual: d, params: params, acked: make(map[MessageID]bool)}
 	// One precomputed phase schedule serves every node (the plan is
-	// read-only to the processes).
+	// read-only to the processes), and one state bank holds every node's
+	// protocol state in flat columns: the engine steps it through the batch
+	// range path (sim.ProcessBank), which the core lockstep oracle test pins
+	// bit-identical to per-node LBAlg processes.
 	plan := core.NewPhasePlan(params)
-	nw.procs = make([]*core.LBAlg, d.N())
-	simProcs := make([]sim.Process, d.N())
+	nw.bank = core.NewNodeStateBank(plan, d.N())
 	for u := 0; u < d.N(); u++ {
-		alg := core.NewLBAlgWithPlan(plan)
 		node := u
-		alg.OnRecv = func(m core.Message, from int) {
+		nw.bank.Node(u).SetOnRecv(func(m core.Message, from int) {
 			if nw.onReceive != nil {
 				nw.onReceive(node, Delivery{ID: m.ID, From: from, Payload: m.Payload, Round: nw.engine.Round()})
 			}
-		}
-		alg.OnAck = func(m core.Message) {
+		})
+		nw.bank.Node(u).SetOnAck(func(m core.Message) {
 			nw.acked[m.ID] = true
 			if nw.onAck != nil {
 				nw.onAck(node, m.ID)
 			}
-		}
-		nw.procs[u] = alg
-		simProcs[u] = alg
+		})
 	}
 	var driver sim.Driver
 	switch o.driver {
@@ -259,7 +258,8 @@ func assemble(d *dualgraph.Dual, o options) (*Network, error) {
 	default:
 		driver = sim.DriverSequential
 	}
-	engine, err := sim.New(sim.Config{Dual: d, Procs: simProcs, Sched: o.scheduler.impl, Seed: o.seed, Driver: driver})
+	engine, err := sim.New(sim.Config{Dual: d, Procs: nw.bank.Procs(), Bank: nw.bank,
+		Sched: o.scheduler.impl, Seed: o.seed, Driver: driver})
 	if err != nil {
 		return nil, err
 	}
@@ -302,11 +302,11 @@ func (nw *Network) Broadcast(node int, payload any) (MessageID, error) {
 	if node < 0 || node >= nw.Size() {
 		return 0, fmt.Errorf("lbcast: node %d out of range [0,%d)", node, nw.Size())
 	}
-	return nw.procs[node].Bcast(payload)
+	return nw.bank.Node(node).Bcast(payload)
 }
 
 // Busy reports whether the node has a broadcast in flight.
-func (nw *Network) Busy(node int) bool { return nw.procs[node].Active() }
+func (nw *Network) Busy(node int) bool { return nw.bank.Node(node).Active() }
 
 // Acked reports whether the given broadcast has been acknowledged.
 func (nw *Network) Acked(id MessageID) bool { return nw.acked[id] }
