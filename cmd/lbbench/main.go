@@ -29,6 +29,7 @@ func main() {
 		sweepW    = flag.String("sweepworkers", "", "comma-separated worker-pool sizes for -sweep's workerpool rows (default: GOMAXPROCS); the multi-core CI matrix passes 1,2,4 to record the parallel-scatter speedup curve")
 		compare   = flag.Bool("compare", false, "run the algorithm comparison matrix (LBAlg vs SINR layer vs contention baselines) at -size; renders the table, or embeds it in -benchjson")
 		loadF     = flag.Bool("load", false, "run the open-loop traffic matrix (E-LOAD knee curves) at -size; renders the table, or embeds it in -benchjson")
+		policiesF = flag.String("policies", "", "comma-separated policy names for -compare and -load (default: each matrix's own set; see `lbsim -policies list`)")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -gobench measurements against")
 		gateBench = flag.String("gatebench", "BenchmarkNetworkRound", "comma-separated benchmark names for the -baseline gate")
 		gateLimit = flag.Float64("gatelimit", 1.20, "fail the -baseline gate when current/baseline ns/op exceeds this ratio")
@@ -82,9 +83,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	policies := splitPolicies(*policiesF)
 	if *compare {
 		var err error
-		compareRep, err = exp.RunComparison(size, *seedFlag)
+		compareRep, err = exp.RunComparisonPolicies(size, *seedFlag, policies, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -93,7 +95,7 @@ func main() {
 	var loadRep *exp.LoadReport
 	if *loadF {
 		var err error
-		loadRep, err = exp.RunLoad(size, *seedFlag)
+		loadRep, err = exp.RunLoadPolicies(size, *seedFlag, policies, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -194,12 +196,12 @@ Modes:
       list experiment IDs
   lbbench -benchjson BENCH_x.json [-benchiters N] [-gobench gotest.txt] [-note "..."]
       measure experiments into a machine-readable BENCH_*.json
-  lbbench -sweep [-sweepn 100,1000] [-sweepmax 1000000] [-sweepworkers 1,2,4] [-compare] [-load] [-benchjson ...]
+  lbbench -sweep [-sweepn 100,1000] [-sweepmax 1000000] [-sweepworkers 1,2,4] [-compare] [-load] [-policies a,b] [-benchjson ...]
       engine scaling sweep (n × scheduler × driver rounds/sec, with
       allocs/round and peak-RSS columns); -sweepmax appends the large-n
-      smoke row; -compare adds the LBAlg vs SINR-layer vs
-      contention-baseline matrix (E-COMPARE), -load the open-loop traffic
-      knee matrix (E-LOAD)
+      smoke row; -compare adds the registered-policy comparison matrix
+      (E-COMPARE), -load the open-loop traffic knee matrix (E-LOAD);
+      -policies restricts either to a subset of the policy registry
   lbbench -baseline BENCH_x.json -gobench gotest.txt [-gatebench A,B] [-gatelimit 1.20]
       CI regression gate: fail when a named benchmark's ns/op — or its
       allocs/op, when both sides carry -benchmem data — exceeds
@@ -208,6 +210,22 @@ Modes:
 Flags:
 `)
 	flag.PrintDefaults()
+}
+
+// splitPolicies turns the -policies flag value into a selection for the
+// comparison/load matrices; empty means each matrix's default set.
+func splitPolicies(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	names := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, p)
+		}
+	}
+	return names
 }
 
 // parseIntList parses a comma-separated integer list flag.

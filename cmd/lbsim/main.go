@@ -15,6 +15,7 @@ import (
 	"lbcast/internal/sched"
 	"lbcast/internal/sim"
 	"lbcast/internal/stats"
+	"lbcast/internal/world"
 	"lbcast/internal/xrand"
 )
 
@@ -34,11 +35,16 @@ func main() {
 		sizeFlag  = flag.String("size", "small", "scale for -exp runs: small|medium|full")
 		outFile   = flag.String("out", "", "JSON output path for -exp runs (default <exp>.json)")
 		reproFile = flag.String("repro", "", "with -exp chaos: replay this lbcast-chaos/v1 scenario instead of searching")
+		policies  = flag.String("policies", "", "comma-separated policy names for -exp comparison|churn|load (default: the experiment's own set); \"list\" prints the registry and exits")
 	)
 	flag.Usage = usage
 	flag.Parse()
+	if *policies == "list" {
+		listPolicies(os.Stdout)
+		return
+	}
 	if *expFlag != "" {
-		if err := runExp(*expFlag, *sizeFlag, *seed, *outFile, *reproFile); err != nil {
+		if err := runExp(*expFlag, *sizeFlag, *seed, *outFile, *reproFile, splitPolicies(*policies)); err != nil {
 			fmt.Fprintln(os.Stderr, "lbsim:", err)
 			os.Exit(1)
 		}
@@ -61,12 +67,12 @@ Modes:
       single-configuration run: LBAlg over the chosen topology/scheduler,
       post-hoc lbspec.Check report on stdout; -trace writes the execution
       trace (lbcast-trace/v1)
-  lbsim -exp comparison [-size small|medium|full] [-seed N] [-out comparison.json]
-      E-COMPARE matrix: LBAlg vs SINR local broadcast vs contention
-      baselines across n (lbcast-comparison/v1)
-  lbsim -exp churn [-size ...] [-seed N] [-out churn.json]
-      E-CHURN matrix: the same contenders degrading under identical Poisson
-      fault schedules (lbcast-churn/v1)
+  lbsim -exp comparison [-size small|medium|full] [-seed N] [-policies a,b] [-out comparison.json]
+      E-COMPARE matrix: every registered policy (or the -policies subset)
+      on identical cloned topologies across n (lbcast-comparison/v2)
+  lbsim -exp churn [-size ...] [-seed N] [-policies a,b] [-out churn.json]
+      E-CHURN matrix: the same policies degrading under identical Poisson
+      fault schedules (lbcast-churn/v2)
   lbsim -exp chaos [-size ...] [-seed N] [-out chaos.json]
       E-CHAOS: bounded randomized scenario search with the online invariant
       monitor attached, plus a seeded-fault shrinking canary
@@ -75,11 +81,14 @@ Modes:
   lbsim -exp chaos -repro repro.json
       deterministically replay a minimized lbcast-chaos/v1 scenario and
       print its monitor verdict
-  lbsim -exp load [-size ...] [-seed N] [-out load.json]
+  lbsim -exp load [-size ...] [-seed N] [-policies a,b] [-out load.json]
       E-LOAD matrix: the open-loop traffic engine sweeping offered load
-      across LBAlg and the contention baselines on identical arrival
-      schedules, plus the preset scenarios (lbcast-load/v1; recorded
-      arrival schedules replay via lbcast-load-trace/v1)
+      across the selected policies on identical arrival schedules, plus
+      the preset scenarios (lbcast-load/v2; recorded arrival schedules
+      replay via lbcast-load-trace/v1)
+  lbsim -policies list
+      print the policy registry: every name -policies accepts, with a
+      one-line description
 
 Flags:
 `)
@@ -91,14 +100,40 @@ Flags:
 // appears in it), so keep it in sync with runExp's dispatch switch.
 var expModes = []string{"chaos", "churn", "comparison", "load"}
 
+// splitPolicies turns the -policies flag value into a selection for the
+// world registry; empty means "use the experiment's default set".
+func splitPolicies(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	names := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, p)
+		}
+	}
+	return names
+}
+
+// listPolicies renders the policy registry: every name the -policies flag
+// accepts, with its one-line description.
+func listPolicies(w io.Writer) {
+	fmt.Fprintln(w, "registered policies (usable with -exp comparison|churn|load):")
+	for _, p := range world.All() {
+		fmt.Fprintf(w, "  %-20s %s\n", p.Name, p.Description)
+	}
+}
+
 // runExp dispatches the -exp subsystems: the comparison matrix (LBAlg vs
 // the SINR local broadcast layer vs the GHLN contention baselines), the
 // churn matrix (the same contenders degrading under identical Poisson
 // fault schedules), the chaos search (randomized scenarios with the
 // online monitor attached), and the open-loop load matrix (the traffic
 // engine's knee curves). Each renders a table and writes machine-readable
-// JSON.
-func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error {
+// JSON. A non-nil policies selection replaces the experiment's default
+// contender set; unknown names fail with the registered set spelled out.
+func runExp(name, sizeName string, seed uint64, outFile, reproFile string, policies []string) error {
 	if reproFile != "" {
 		if name != "chaos" {
 			return fmt.Errorf("-repro only applies to -exp chaos")
@@ -117,7 +152,7 @@ func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error
 	)
 	switch name {
 	case "comparison":
-		rep, err := exp.RunComparison(size, seed)
+		rep, err := exp.RunComparisonPolicies(size, seed, policies, 0)
 		if err != nil {
 			return err
 		}
@@ -126,7 +161,7 @@ func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error
 			outFile = "comparison.json"
 		}
 	case "churn":
-		rep, err := exp.RunChurn(size, seed)
+		rep, err := exp.RunChurnPolicies(size, seed, policies, 0)
 		if err != nil {
 			return err
 		}
@@ -135,6 +170,9 @@ func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error
 			outFile = "churn.json"
 		}
 	case "chaos":
+		if policies != nil {
+			return fmt.Errorf("-policies does not apply to -exp chaos")
+		}
 		rep, err := exp.RunChaos(size, seed)
 		if err != nil {
 			return err
@@ -145,7 +183,7 @@ func runExp(name, sizeName string, seed uint64, outFile, reproFile string) error
 			outFile = "chaos.json"
 		}
 	case "load":
-		rep, err := exp.RunLoad(size, seed)
+		rep, err := exp.RunLoadPolicies(size, seed, policies, 0)
 		if err != nil {
 			return err
 		}

@@ -3,13 +3,15 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"lbcast/internal/world"
 )
 
 // TestUnknownExpError pins the unknown-experiment UX: the error must name
 // the rejected experiment and enumerate every valid -exp mode (main exits
 // non-zero on any runExp error).
 func TestUnknownExpError(t *testing.T) {
-	err := runExp("bogus", "small", 1, "", "")
+	err := runExp("bogus", "small", 1, "", "", nil)
 	if err == nil {
 		t.Fatal("runExp accepted an unknown experiment")
 	}
@@ -43,7 +45,58 @@ func TestExpModesComplete(t *testing.T) {
 
 // TestBadSizeError covers the other rejection path shared by all modes.
 func TestBadSizeError(t *testing.T) {
-	if err := runExp("load", "giant", 1, "", ""); err == nil {
+	if err := runExp("load", "giant", 1, "", "", nil); err == nil {
 		t.Error("runExp accepted an unknown size")
+	}
+}
+
+// TestUnknownPolicyError pins the -policies UX: an unknown policy name
+// fails (main exits non-zero) and the error enumerates the registered set.
+func TestUnknownPolicyError(t *testing.T) {
+	for _, mode := range []string{"comparison", "churn", "load"} {
+		err := runExp(mode, "small", 1, "", "", []string{"bogus"})
+		if err == nil {
+			t.Errorf("%s accepted an unknown policy", mode)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `"bogus"`) {
+			t.Errorf("%s error does not name the rejected policy: %q", mode, msg)
+		}
+		for _, name := range world.Names() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("%s error does not list registered policy %q: %q", mode, name, msg)
+			}
+		}
+	}
+	if err := runExp("chaos", "small", 1, "", "", []string{"lbalg"}); err == nil {
+		t.Error("chaos accepted a -policies selection")
+	}
+}
+
+// TestSplitPolicies covers the flag parsing helper.
+func TestSplitPolicies(t *testing.T) {
+	if got := splitPolicies(""); got != nil {
+		t.Errorf("empty flag parsed as %v, want nil (default set)", got)
+	}
+	got := splitPolicies(" lbalg, decay ,")
+	if len(got) != 2 || got[0] != "lbalg" || got[1] != "decay" {
+		t.Errorf("splitPolicies = %v, want [lbalg decay]", got)
+	}
+}
+
+// TestListPolicies checks the -policies list mode prints every registered
+// name with its description.
+func TestListPolicies(t *testing.T) {
+	var sb strings.Builder
+	listPolicies(&sb)
+	out := sb.String()
+	for _, p := range world.All() {
+		if !strings.Contains(out, p.Name) {
+			t.Errorf("listing missing policy %q", p.Name)
+		}
+		if !strings.Contains(out, p.Description) {
+			t.Errorf("listing missing description for %q", p.Name)
+		}
 	}
 }

@@ -1,10 +1,12 @@
 // This file implements E-CHURN, the robustness experiment: how gracefully
-// each contender's ack latency, progress, reliability and goodput degrade
-// as node churn rises. Every contender at a given churn rate faces the
+// each policy's ack latency, progress, reliability and goodput degrade as
+// node churn rises. Every policy at a given churn rate faces the
 // *identical* fault schedule — the plan is compiled from (seed, rate)
-// alone, before any run — so the degradation curves differ only in the
-// protocols, never in the faults. Runs use the sequential driver, so one
-// invocation is deterministic across GOMAXPROCS settings.
+// alone, before any run, and concurrent policy engines replay it through
+// private injector cursors — so the degradation curves differ only in the
+// protocols, never in the faults. Each policy engine runs on its own
+// Topology.Clone (leave/join patches mutate the graph in place); the
+// reliability metric reads the pristine reference topology.
 
 package exp
 
@@ -14,30 +16,32 @@ import (
 	"io"
 	"math"
 
-	"lbcast/internal/baseline"
 	"lbcast/internal/churn"
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/geo"
-	"lbcast/internal/sched"
 	"lbcast/internal/sim"
 	"lbcast/internal/stats"
-	"lbcast/internal/xrand"
+	"lbcast/internal/world"
 )
 
 func init() {
 	register(Experiment{ID: "E-CHURN", Claim: "robustness under node churn: degradation vs fault rate on identical schedules", Run: runChurnExp})
 }
 
+// churnDefaultPolicies is the default policy selection of the churn matrix:
+// the paper's algorithm against the fast and slow dual-graph baselines.
+var churnDefaultPolicies = []string{"lbalg", "contention-uniform", "decay"}
+
 // ChurnRow is one (churn rate, algorithm) measurement. It carries the
 // comparison metrics plus the fault-load telemetry of the schedule the run
 // faced. JSON field names are the stable schema documented in
-// docs/EXPERIMENTS.md (lbcast-churn/v1).
+// docs/EXPERIMENTS.md.
 type ChurnRow struct {
 	ComparisonRow
 	// Load is the churn intensity in protocol-relative units: expected
 	// crashes per node per ack window (half the round budget) of the
-	// slowest contender. The sweep's independent variable.
+	// slowest policy. The sweep's independent variable.
 	Load float64 `json:"crashes_per_ack_window"`
 	// CrashRate is the resulting per-node per-round crash probability.
 	CrashRate float64 `json:"crash_rate"`
@@ -61,6 +65,8 @@ type ChurnReport struct {
 	Seed uint64 `json:"seed"`
 	// Size is the experiment scale the point counts were picked at.
 	Size string `json:"size"`
+	// Policies lists the selected policy names in selection order.
+	Policies []string `json:"policies"`
 	// Rows holds one entry per (rate, algorithm), rates ascending — the
 	// degradation curve of each algorithm read along its rate column.
 	Rows []ChurnRow `json:"rows"`
@@ -76,38 +82,55 @@ func (r *ChurnReport) WriteJSON(w io.Writer) error {
 }
 
 // churnLoads is the sweep, in protocol-relative units: the expected number
-// of crashes per node per acknowledgement window of the slowest contender
+// of crashes per node per acknowledgement window of the slowest policy
 // (half the round budget). A churn-free control point, then three loads
 // spanning light (most ack windows survive a sender's uptime) to heavy
-// (the slowest contender can essentially never finish a window between
+// (the slowest policy can essentially never finish a window between
 // its sender's crashes, while fast baselines still can).
 var churnLoads = []float64{0, 0.25, 1, 4}
 
-// RunChurn executes the churn matrix: one constant-density geometric
-// topology per size, and for every churn rate one Poisson fault plan that
-// every contender replays verbatim. The dual graph is rebuilt per run
-// (leave/join patches mutate it in place); protocol parameters are derived
-// once from the full universe, whose Δ/Δ′ bound every patched subgraph.
+// RunChurn executes the churn matrix with the default policy selection and
+// worker count. See RunChurnPolicies.
 func RunChurn(size Size, seed uint64) (*ChurnReport, error) {
+	return RunChurnPolicies(size, seed, nil, 0)
+}
+
+// RunChurnPolicies executes the churn matrix: one constant-density
+// geometric topology per size, and for every churn rate one Poisson fault
+// plan that every selected policy replays verbatim. Each policy engine
+// patches its own topology clone; protocol parameters are derived once from
+// the full universe, whose Δ/Δ′ bound every patched subgraph. names selects
+// policies from the world registry (nil means the default trio); workers
+// bounds engine concurrency (≤ 0 means GOMAXPROCS) — the report is
+// byte-identical at any worker count.
+func RunChurnPolicies(size Size, seed uint64, names []string, workers int) (*ChurnReport, error) {
+	if names == nil {
+		names = churnDefaultPolicies
+	}
+	policies, err := world.Select(names)
+	if err != nil {
+		return nil, err
+	}
 	n := pick(size, 48, 100, 250)
 	roundsCap := pick(size, 60_000, 150_000, 400_000)
 	const eps = 0.2
 
 	rep := &ChurnReport{
-		Schema: "lbcast-churn/v1",
-		Seed:   seed,
-		Size:   comparisonSizeName(size),
+		Schema:   "lbcast-churn/v2",
+		Seed:     seed,
+		Size:     comparisonSizeName(size),
+		Policies: names,
 		Notes: []string{
 			"topology: constant-density random geometric (comparison family), r=1.5, grey-zone links unreliable",
-			"load = expected crashes per node per slowest ack window; identical Poisson fault schedule per load across all contenders",
+			"load = expected crashes per node per slowest ack window; identical Poisson fault schedule per load across all policies",
 			"leave rate = crash rate / 4; outage lengths ≈ 2% (crash) / 4% (leave) of the run",
-			"dual-graph scatter with the oblivious random½ link scheduler; sequential driver (GOMAXPROCS-independent)",
+			"dual-graph scatter with the oblivious random½ link scheduler; per-policy engines are sequential (GOMAXPROCS-independent output)",
 			"reliability counts receptions among full-universe reliable neighbors: outages erode it by construction",
-			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+			fmt.Sprintf("ε=%v sizes every policy's acknowledgement window", eps),
 		},
 	}
 	for _, load := range churnLoads {
-		rows, err := runChurnPoint(n, seed, load, eps, roundsCap)
+		rows, err := runChurnPoint(n, seed, load, eps, roundsCap, policies, workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: churn load=%v: %w", load, err)
 		}
@@ -117,7 +140,7 @@ func RunChurn(size Size, seed uint64) (*ChurnReport, error) {
 }
 
 // churnPlanFor compiles the fault schedule for one (n, seed, rate, rounds)
-// point. Pure function: every contender at this point gets this schedule.
+// point. Pure function: every policy at this point gets this schedule.
 // Outage lengths scale with the run (≈ 2% of it per crash), so the sweep
 // varies fault frequency, not a fixed absolute downtime.
 func churnPlanFor(n int, seed uint64, rate float64, rounds int) (*churn.Plan, error) {
@@ -134,56 +157,22 @@ func churnPlanFor(n int, seed uint64, rate float64, rounds int) (*churn.Plan, er
 	})
 }
 
-// runChurnPoint runs every contender against the load's fault schedule.
-func runChurnPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]ChurnRow, error) {
-	// Full-universe parameters: build one pristine instance for Δ/Δ′ and
-	// the reliability neighbor sets, then rebuild per run.
-	buildDual := func() (*dualgraph.Dual, error) {
-		side := math.Max(4, math.Sqrt(float64(n)/4))
-		return dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
-	}
-	ref, err := buildDual()
+// runChurnPoint runs every selected policy against the load's fault
+// schedule through the World harness.
+func runChurnPoint(n int, seed uint64, load, eps float64, roundsCap int, policies []world.Policy, workers int) ([]ChurnRow, error) {
+	// Full-universe parameters: the pristine reference topology supplies
+	// Δ/Δ′ and the reliability neighbor sets (Instance.Neighbors reads it
+	// and it is never patched); every engine runs a private clone.
+	top, err := world.NewSweepTopology(n, seed, eps)
 	if err != nil {
 		return nil, err
 	}
-	delta, deltaPrime := ref.Delta(), ref.DeltaPrime()
-	lbParams, err := core.DeriveParams(delta, deltaPrime, ref.R, eps)
+	w, err := world.New(top, policies, workers)
 	if err != nil {
 		return nil, err
 	}
-	// Snapshot the full-universe reliable neighborhoods for the
-	// reliability metric: the per-run duals get patched while running.
-	neigh := make([][]int32, n)
-	for u := 0; u < n; u++ {
-		neigh[u] = append([]int32(nil), ref.G.Neighbors(u)...)
-	}
-	neighFn := func(src int) []int32 { return neigh[src] }
-
-	contenders := []comparisonContender{
-		{"lbalg", "dualgraph", nil, neighFn, lbParams.TAckBound(), func(int) core.Service {
-			return core.NewLBAlg(lbParams)
-		}},
-		{"contention-uniform", "dualgraph", nil, neighFn, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
-			return baseline.NewContention(baseline.ContentionParams{
-				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
-		}},
-		{"decay", "dualgraph", nil, neighFn, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
-			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
-		}},
-	}
-	rounds := 0
-	for _, c := range contenders {
-		if b := 2*c.ackRounds + 64; b > rounds {
-			rounds = b
-		}
-	}
-	if rounds > roundsCap {
-		rounds = roundsCap
-	}
-	senders := 4
-	if senders > n/4 {
-		senders = max(1, n/4)
-	}
+	rounds := w.Window(roundsCap)
+	senders := len(w.Senders())
 
 	// Translate the protocol-relative load into a per-round rate: the ack
 	// window is half the budget (rounds = 2 windows + slack).
@@ -200,70 +189,88 @@ func runChurnPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]Chur
 	}
 	planStats := plan.Stats(n, rounds)
 
-	rows := make([]ChurnRow, 0, len(contenders))
-	for ci, c := range contenders {
-		d, err := buildDual()
-		if err != nil {
-			return nil, err
-		}
-		svcs := make([]core.Service, n)
-		procs := make([]sim.Process, n)
-		for u := 0; u < n; u++ {
-			svcs[u] = c.build(u)
-			procs[u] = svcs[u]
-		}
-		env := core.NewSaturatingEnv(svcs, senderRange(senders))
-		inj, err := churn.NewInjector(churn.InjectorConfig{
-			Plan: plan, Dual: d, Index: geo.BuildGridIndex(d.Emb),
-			Policy: dualgraph.GreyUnreliable,
-			Restart: func(u int) sim.Process {
-				svcs[u] = c.build(u)
-				return svcs[u]
-			},
-			Inner: env,
-			OnRestart: func(u int, _ sim.Process) {
-				// A restarted sender lost its in-flight broadcast and its
-				// ack hook; re-arm it so saturation resumes.
-				env.Rearm(u)
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		if err := inj.Detach(); err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		engine, err := sim.New(sim.Config{Dual: d, Procs: procs, Env: inj,
-			Sched: sched.NewRandom(0.5, seed), Seed: seed + uint64(ci)*1_000_003})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		inj.Attach(engine)
-		engine.Run(rounds)
-		if err := inj.Err(); err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		if err := d.Validate(); err != nil {
-			return nil, fmt.Errorf("%s: patched dual invalid after run: %w", c.name, err)
-		}
+	// Per-policy fault state, index-aligned with the selection: the shared
+	// plan is read-only during the run (each injector advances a private
+	// cursor), the clones and injectors are engine-private.
+	injs := make([]*churn.Injector, len(policies))
+	duals := make([]*dualgraph.Dual, len(policies))
 
-		row := ChurnRow{
-			ComparisonRow: summarizeComparisonRun(engine.Trace(), rounds, neighFn),
-			Load:          load,
-			CrashRate:     rate,
-			LeaveRate:     rate / 4,
-			Crashes:       planStats.Crashes,
-			Recovers:      planStats.Recovers,
-			Leaves:        planStats.Leaves,
-			Joins:         planStats.Joins,
-		}
-		row.DownFraction = float64(planStats.DownNodeRounds) / (float64(n) * float64(rounds))
-		row.Topology = "sweep-geometric"
-		row.N = n
-		row.Algorithm = c.name
-		row.Model = "dualgraph"
-		row.Senders = senders
-		rows = append(rows, row)
+	rows := make([]ChurnRow, 0, len(policies))
+	err = w.Run(world.Hooks{
+		Rounds: func(int) int { return rounds },
+		Configure: func(i int, p world.Policy, inst *world.Instance, cfg *sim.Config) error {
+			d, err := top.Clone()
+			if err != nil {
+				return err
+			}
+			svcs := make([]core.Service, n)
+			procs := make([]sim.Process, n)
+			for u := 0; u < n; u++ {
+				svcs[u] = inst.NewService(u)
+				procs[u] = svcs[u]
+			}
+			env := core.NewSaturatingEnv(svcs, senderRange(senders))
+			inj, err := churn.NewInjector(churn.InjectorConfig{
+				Plan: plan, Dual: d, Index: geo.BuildGridIndex(d.Emb),
+				Policy: dualgraph.GreyUnreliable,
+				Restart: func(u int) sim.Process {
+					svcs[u] = inst.NewService(u)
+					return svcs[u]
+				},
+				Inner: env,
+				OnRestart: func(u int, _ sim.Process) {
+					// A restarted sender lost its in-flight broadcast and its
+					// ack hook; re-arm it so saturation resumes.
+					env.Rearm(u)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if err := inj.Detach(); err != nil {
+				return err
+			}
+			injs[i], duals[i] = inj, d
+			cfg.Dual = d
+			cfg.Procs = procs
+			cfg.Env = inj
+			cfg.Seed = world.EngineSeed(seed, i)
+			inst.Channel(cfg, seed)
+			return nil
+		},
+		Attach: func(i int, p world.Policy, e *sim.Engine) error {
+			injs[i].Attach(e)
+			return nil
+		},
+		Finish: func(i int, p world.Policy, inst *world.Instance, e *sim.Engine) error {
+			if err := injs[i].Err(); err != nil {
+				return err
+			}
+			if err := duals[i].Validate(); err != nil {
+				return fmt.Errorf("patched dual invalid after run: %w", err)
+			}
+			row := ChurnRow{
+				ComparisonRow: world.Summarize(e.Trace(), rounds, inst.Neighbors),
+				Load:          load,
+				CrashRate:     rate,
+				LeaveRate:     rate / 4,
+				Crashes:       planStats.Crashes,
+				Recovers:      planStats.Recovers,
+				Leaves:        planStats.Leaves,
+				Joins:         planStats.Joins,
+			}
+			row.DownFraction = float64(planStats.DownNodeRounds) / (float64(n) * float64(rounds))
+			row.Topology = "sweep-geometric"
+			row.N = n
+			row.Algorithm = p.Name
+			row.Model = p.Model
+			row.Senders = senders
+			rows = append(rows, row)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -20,7 +20,7 @@ func TestRunChurnSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "lbcast-churn/v1" {
+	if rep.Schema != "lbcast-churn/v2" {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	perLoad := make(map[float64][]ChurnRow)

@@ -2,11 +2,12 @@
 // ROADMAP: head-to-head runs of LBAlg against the GHLN contention-management
 // baselines (internal/baseline.Contention) and the SINR local broadcast
 // layer (internal/sinr), over the same constant-density random-geometric
-// topologies as the PR 2 scaling sweep. Every contender implements
-// core.Service and records the same bcast/ack/hear/recv events, so one
-// trace pass extracts comparable ack-latency, progress and
-// message-complexity figures regardless of which physical layer resolved
-// the rounds.
+// topologies as the PR 2 scaling sweep. The matrix itself lives in
+// internal/world: policies come from the registry, every selected policy
+// runs on the identical topology under one shared round budget (engines run
+// concurrently on the fleet pool), and the shared world.Summarize pass
+// extracts comparable ack-latency, progress and message-complexity figures
+// regardless of which physical layer resolved the rounds.
 
 package exp
 
@@ -16,16 +17,14 @@ import (
 	"io"
 	"math"
 	"os"
-	"slices"
 
-	"lbcast/internal/baseline"
 	"lbcast/internal/core"
 	"lbcast/internal/dualgraph"
 	"lbcast/internal/geo"
-	"lbcast/internal/sched"
 	"lbcast/internal/sim"
 	"lbcast/internal/sinr"
 	"lbcast/internal/stats"
+	"lbcast/internal/world"
 	"lbcast/internal/xrand"
 )
 
@@ -35,55 +34,9 @@ func init() {
 }
 
 // ComparisonRow is one (topology, algorithm) measurement of the comparison
-// table. JSON field names are the stable schema documented in
-// docs/EXPERIMENTS.md.
-type ComparisonRow struct {
-	// Topology identifies the graph family ("sweep-geometric").
-	Topology string `json:"topology"`
-	// N is the node count of the topology instance.
-	N int `json:"n"`
-	// Algorithm names the contender: lbalg, contention-uniform,
-	// contention-cycling, decay, sinr-local or sinr-pernode.
-	Algorithm string `json:"algorithm"`
-	// Model is the physical layer the run used: "dualgraph" (scatter over
-	// (G, G′) with the random½ link scheduler) or "sinr".
-	Model string `json:"model"`
-	// Rounds is the executed round budget (identical for every contender
-	// on the same topology instance).
-	Rounds int `json:"rounds"`
-	// Senders is the number of saturated senders driving the run.
-	Senders int `json:"senders"`
-	// Acks is the number of completed (acknowledged) broadcasts.
-	Acks int `json:"acks"`
-	// Reliability is the fraction of acknowledged broadcasts whose every
-	// neighbor (reliable neighbors under the dual-graph model, nodes
-	// within the isolation range under SINR) produced a recv output before
-	// the ack — the LB problem's reliability condition made comparable
-	// across physical layers.
-	Reliability float64 `json:"reliability"`
-	// AckP50/AckP95/AckMax summarise bcast→ack latency in rounds.
-	AckP50 float64 `json:"ack_p50"`
-	AckP95 float64 `json:"ack_p95"`
-	AckMax int     `json:"ack_max"`
-	// FirstRecvP50 is the median bcast→first-recv latency in rounds over
-	// messages that reached at least one listener: the cross-model
-	// progress proxy.
-	FirstRecvP50 float64 `json:"first_recv_p50"`
-	// MsgsPerAck is the message complexity: channel transmissions spent
-	// per completed broadcast.
-	MsgsPerAck float64 `json:"msgs_per_ack"`
-	// DeliveriesPerRound is the channel goodput: successful receptions per
-	// round across all listeners.
-	DeliveriesPerRound float64 `json:"deliveries_per_round"`
-	// CollisionRate is Collisions/(Deliveries+Collisions): the fraction of
-	// reception opportunities lost to interference.
-	CollisionRate float64 `json:"collision_rate"`
-	// Transmissions, Deliveries and Collisions are the raw channel
-	// counters backing the ratios.
-	Transmissions int `json:"transmissions"`
-	Deliveries    int `json:"deliveries"`
-	Collisions    int `json:"collisions"`
-}
+// table — the shared world.Row. JSON field names are the stable schema
+// documented in docs/EXPERIMENTS.md.
+type ComparisonRow = world.Row
 
 // ComparisonReport is the JSON document produced by the comparison runs
 // (`lbsim -exp comparison`, `lbbench -sweep -compare`).
@@ -94,6 +47,9 @@ type ComparisonReport struct {
 	Seed uint64 `json:"seed"`
 	// Size is the experiment scale the point counts were picked at.
 	Size string `json:"size"`
+	// Policies lists the selected policy names in selection order — the
+	// order each topology's rows appear in.
+	Policies []string `json:"policies"`
 	// Rows holds one entry per (topology, algorithm), topologies ascending.
 	Rows []ComparisonRow `json:"rows"`
 	// Notes records calibration context for human readers.
@@ -119,36 +75,53 @@ func comparisonSizeName(size Size) string {
 	}
 }
 
-// RunComparison executes the comparison matrix: for each sweep topology
-// (constant-density random geometric, the PR 2 family) every contender runs
-// the same round budget under a saturating-sender environment, and one
-// trace pass per run extracts the ack-latency/progress/message-complexity
-// row. The dual-graph contenders face the oblivious random½ link scheduler;
-// the SINR contender runs over the same embedding with uniform power and
-// DefaultParams.
+// RunComparison executes the comparison matrix over every registered
+// policy with the default worker count. See RunComparisonPolicies.
 func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
+	return RunComparisonPolicies(size, seed, nil, 0)
+}
+
+// RunComparisonPolicies executes the comparison matrix: for each sweep
+// topology (constant-density random geometric, the PR 2 family) every
+// selected policy runs the same round budget under a saturating-sender
+// environment, and one trace pass per run extracts the
+// ack-latency/progress/message-complexity row. The dual-graph policies face
+// the oblivious random½ link scheduler; the SINR policies run over the same
+// embedding. names selects policies from the world registry (nil means all,
+// in registration order); workers bounds how many policy engines run
+// concurrently (≤ 0 means GOMAXPROCS) — the report is byte-identical at any
+// worker count.
+func RunComparisonPolicies(size Size, seed uint64, names []string, workers int) (*ComparisonReport, error) {
+	if names == nil {
+		names = world.Names()
+	}
+	policies, err := world.Select(names)
+	if err != nil {
+		return nil, err
+	}
 	ns := pick(size, []int{48, 128}, []int{100, 400}, []int{1000, 4000, 10_000})
-	// The budget must cover the slowest contender's acknowledgement window
+	// The budget must cover the slowest policy's acknowledgement window
 	// (LBAlg's t_ack, tens of thousands of rounds at these Δ); the cap is a
 	// safety valve, not the expected binding constraint.
 	roundsCap := pick(size, 150_000, 250_000, 500_000)
 	const eps = 0.2
 
 	rep := &ComparisonReport{
-		Schema: "lbcast-comparison/v1",
-		Seed:   seed,
-		Size:   comparisonSizeName(size),
+		Schema:   "lbcast-comparison/v2",
+		Seed:     seed,
+		Size:     comparisonSizeName(size),
+		Policies: names,
 		Notes: []string{
 			"topologies: constant-density random geometric (PR 2 sweep family), r=1.5, grey-zone links unreliable",
-			"dual-graph contenders run against the oblivious random½ link scheduler",
+			"dual-graph policies run against the oblivious random½ link scheduler",
 			fmt.Sprintf("sinr-local runs over the same embedding with uniform power, α=%v β=%v noise=%v",
 				sinr.DefaultParams().Alpha, sinr.DefaultParams().Beta, sinr.DefaultParams().Noise),
 			"sinr-pernode repeats the SINR run with a deterministic 2× per-node power spread (P_u ∈ [0.75, 1.5]); its reliability neighbor sets use per-source isolation ranges",
-			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+			fmt.Sprintf("ε=%v sizes every policy's acknowledgement window", eps),
 		},
 	}
 	for _, n := range ns {
-		rows, err := runComparisonPoint(n, seed, eps, roundsCap)
+		rows, err := runComparisonPoint(n, seed, eps, roundsCap, policies, workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: comparison n=%d: %w", n, err)
 		}
@@ -157,264 +130,76 @@ func RunComparison(size Size, seed uint64) (*ComparisonReport, error) {
 	return rep, nil
 }
 
-// comparisonContender couples an algorithm name with its process factory
-// and physical layer.
-type comparisonContender struct {
-	name      string
-	model     string             // "dualgraph" or "sinr"
-	reception sim.ReceptionModel // nil for dual-graph contenders
-	neighbors func(int) []int32  // reliability neighbor set per source
-	ackRounds int                // the contender's acknowledgement window, for the budget
-	build     func(u int) core.Service
-}
-
 // comparisonSpillMinNodeRounds is the n·rounds volume beyond which a
 // comparison run spills its trace to disk. Small points (the unit-test
 // sizes) keep everything in memory.
 const comparisonSpillMinNodeRounds = 1 << 22
 
-// runComparisonPoint runs every contender on one topology instance.
-func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int) ([]ComparisonRow, error) {
-	// The PR 2 sweep geometry: constant density ≈ 4 nodes per unit square.
-	side := math.Max(4, math.Sqrt(float64(n)/4))
-	d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
+// runComparisonPoint runs every selected policy on one topology instance
+// through the World harness.
+func runComparisonPoint(n int, seed uint64, eps float64, roundsCap int, policies []world.Policy, workers int) ([]ComparisonRow, error) {
+	top, err := world.NewSweepTopology(n, seed, eps)
 	if err != nil {
 		return nil, err
 	}
-	delta, deltaPrime := d.Delta(), d.DeltaPrime()
-	lbParams, err := core.DeriveParams(delta, deltaPrime, d.R, eps)
+	w, err := world.New(top, policies, workers)
 	if err != nil {
 		return nil, err
 	}
-	model, err := sinr.NewModel(d.Emb, sinr.UniformPower(1), sinr.DefaultParams())
-	if err != nil {
-		return nil, err
-	}
-	// Non-uniform transmit powers for the sinr-pernode contender: a
-	// deterministic 2× spread over the same embedding. This exercises the
-	// per-cell power totals of the bucketed resolver, which a uniform
-	// assignment cannot.
-	powers := make(sinr.PerNodePower, n)
-	prng := xrand.New(seed).Split(0x9027)
-	for u := range powers {
-		powers[u] = 0.75 + 0.75*prng.Float64()
-	}
-	npModel, err := sinr.NewModel(d.Emb, powers, sinr.DefaultParams())
-	if err != nil {
-		return nil, err
-	}
-
-	// Per-model neighbor sets for the reliability metric: reliable (G)
-	// neighbors under the dual-graph model, isolation-range neighbors
-	// under SINR (per-source ranges when powers differ). Lists are built
-	// lazily, once per topology instance.
-	dualNeigh := func(src int) []int32 { return d.G.Neighbors(src) }
-	var sinrNeighLists [][]int32
-	sinrNeigh := func(src int) []int32 {
-		if sinrNeighLists == nil {
-			sinrNeighLists = isolationNeighbors(d.Emb, model.Params().Range(1))
-		}
-		return sinrNeighLists[src]
-	}
-	var pernodeNeighLists [][]int32
-	pernodeNeigh := func(src int) []int32 {
-		if pernodeNeighLists == nil {
-			radii := make([]float64, n)
-			for u := range radii {
-				radii[u] = npModel.Params().Range(powers[u])
-			}
-			pernodeNeighLists = isolationNeighborsPerSource(d.Emb, radii)
-		}
-		return pernodeNeighLists[src]
-	}
-
-	contenders := []comparisonContender{
-		{"lbalg", "dualgraph", nil, dualNeigh, lbParams.TAckBound(), func(int) core.Service {
-			return core.NewLBAlg(lbParams)
-		}},
-		{"contention-uniform", "dualgraph", nil, dualNeigh, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
-			return baseline.NewContention(baseline.ContentionParams{
-				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
-		}},
-		{"contention-cycling", "dualgraph", nil, dualNeigh, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
-			return baseline.NewContention(baseline.ContentionParams{
-				DeltaPrime: deltaPrime, Strategy: baseline.StrategyCycling, Eps: eps})
-		}},
-		{"decay", "dualgraph", nil, dualNeigh, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
-			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
-		}},
-		{"sinr-local", "sinr", model, sinrNeigh, sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
-			return sinr.NewLocalBcast(sinr.LayerParams{Delta: deltaPrime, Eps: eps})
-		}},
-		{"sinr-pernode", "sinr", npModel, pernodeNeigh, sinr.LayerAckRounds(deltaPrime, eps), func(int) core.Service {
-			return sinr.NewLocalBcast(sinr.LayerParams{Delta: deltaPrime, Eps: eps})
-		}},
-	}
-
 	// One shared round budget per topology: two full ack cycles of the
-	// slowest contender, capped so outlier parameterisations stay
-	// affordable.
-	rounds := 0
-	for _, c := range contenders {
-		if b := 2*c.ackRounds + 64; b > rounds {
-			rounds = b
-		}
-	}
-	if rounds > roundsCap {
-		rounds = roundsCap
-	}
-	senders := 4
-	if senders > n/4 {
-		senders = max(1, n/4)
-	}
+	// slowest policy, capped so outlier parameterisations stay affordable.
+	rounds := w.Window(roundsCap)
+	senders := len(w.Senders())
 
-	rows := make([]ComparisonRow, 0, len(contenders))
-	for ci, c := range contenders {
-		svcs := make([]core.Service, n)
-		procs := make([]sim.Process, n)
-		for u := 0; u < n; u++ {
-			svcs[u] = c.build(u)
-			procs[u] = svcs[u]
-		}
-		env := core.NewSaturatingEnv(svcs, senderRange(senders))
-		cfg := sim.Config{Dual: d, Procs: procs, Env: env,
-			Seed: seed + uint64(ci)*1_000_003}
-		if c.reception != nil {
-			cfg.Reception = c.reception
-		} else {
-			cfg.Sched = sched.NewRandom(0.5, seed)
-		}
-		engine, err := sim.New(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		// Large points spill sealed trace chunks to disk: the n = 4000
-		// full-size row runs a ~190k-round budget whose event history would
-		// otherwise dominate resident memory. The summary pass below reads
-		// the trace once in order, which rehydrates spilled chunks through
-		// the one-chunk cache; a spill setup failure just keeps the trace
-		// in memory.
-		if int64(n)*int64(rounds) >= comparisonSpillMinNodeRounds {
-			if err := engine.Trace().SpillToDisk(""); err != nil {
-				fmt.Fprintf(os.Stderr, "exp: comparison trace spill disabled: %v\n", err)
+	rows := make([]ComparisonRow, 0, len(policies))
+	err = w.Run(world.Hooks{
+		Rounds: func(int) int { return rounds },
+		Configure: func(i int, p world.Policy, inst *world.Instance, cfg *sim.Config) error {
+			svcs := make([]core.Service, n)
+			procs := make([]sim.Process, n)
+			for u := 0; u < n; u++ {
+				svcs[u] = inst.NewService(u)
+				procs[u] = svcs[u]
 			}
-		}
-		engine.Run(rounds)
-		row := summarizeComparisonRun(engine.Trace(), rounds, c.neighbors)
-		if err := engine.Trace().SpillError(); err != nil {
-			fmt.Fprintf(os.Stderr, "exp: comparison trace spill degraded: %v\n", err)
-		}
-		engine.Trace().CloseSpill()
-		row.Topology = "sweep-geometric"
-		row.N = n
-		row.Algorithm = c.name
-		row.Model = c.model
-		row.Senders = senders
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-// summarizeComparisonRun extracts the comparison metrics from one trace in
-// a single pass over the events. neigh maps a source node to the neighbor
-// set its broadcasts must reach for the reliability metric.
-//
-// Message ids are tracked per incarnation: a restarted sender (churn's
-// Recover/Join) begins a fresh protocol instance whose sequence counter
-// restarts, so an id can be re-broadcast later in the trace. Each EvBcast
-// closes out the previous incarnation's statistics and starts a new
-// window; stray receptions of a prior incarnation's copies (still in
-// flight when the id was re-broadcast) are dropped rather than
-// mis-attributed.
-func summarizeComparisonRun(tr *sim.Trace, rounds int, neigh func(int) []int32) ComparisonRow {
-	type msgState struct {
-		bcast     int
-		firstRecv int // -1 until first reception
-		ackRound  int // -1 until acked
-		reached   map[int32]struct{}
-	}
-	states := make(map[sim.MsgID]*msgState)
-	var ackLat, recvLat []int
-	reliable, acked := 0, 0
-	flush := func(id sim.MsgID, s *msgState) {
-		if s.firstRecv >= 0 {
-			recvLat = append(recvLat, s.firstRecv-s.bcast)
-		}
-		if s.ackRound >= 0 {
-			acked++
-			if len(s.reached) == len(neigh(id.Src())) {
-				reliable++
-			}
-		}
-	}
-	for ev := range tr.Events() {
-		switch ev.Kind {
-		case sim.EvBcast:
-			if s, ok := states[ev.MsgID]; ok {
-				flush(ev.MsgID, s)
-			}
-			states[ev.MsgID] = &msgState{bcast: ev.Round, firstRecv: -1, ackRound: -1}
-		case sim.EvAck:
-			if s, ok := states[ev.MsgID]; ok && s.ackRound < 0 {
-				s.ackRound = ev.Round
-				ackLat = append(ackLat, ev.Round-s.bcast)
-			}
-		case sim.EvRecv:
-			s, ok := states[ev.MsgID]
-			if !ok || ev.Round < s.bcast {
-				continue
-			}
-			if s.firstRecv < 0 {
-				s.firstRecv = ev.Round
-			}
-			// A reception in the ack round itself still counts toward
-			// reliability: the trace drains per-round events in node-id
-			// order, so the sender's EvAck can precede a same-round EvRecv
-			// without the reception being late. Strictly later rounds do
-			// not count.
-			if nl := neigh(ev.MsgID.Src()); isNeighbor(nl, int32(ev.Node)) {
-				if s.ackRound < 0 || ev.Round <= s.ackRound {
-					if s.reached == nil {
-						s.reached = make(map[int32]struct{})
-					}
-					s.reached[int32(ev.Node)] = struct{}{}
+			cfg.Procs = procs
+			cfg.Env = core.NewSaturatingEnv(svcs, senderRange(senders))
+			cfg.Seed = world.EngineSeed(seed, i)
+			inst.Channel(cfg, seed)
+			return nil
+		},
+		Attach: func(i int, p world.Policy, e *sim.Engine) error {
+			// Large points spill sealed trace chunks to disk: the n = 4000
+			// full-size row runs a ~190k-round budget whose event history
+			// would otherwise dominate resident memory. The summary pass
+			// below reads the trace once in order, which rehydrates spilled
+			// chunks through the one-chunk cache; a spill setup failure just
+			// keeps the trace in memory.
+			if int64(n)*int64(rounds) >= comparisonSpillMinNodeRounds {
+				if err := e.Trace().SpillToDisk(""); err != nil {
+					fmt.Fprintf(os.Stderr, "exp: comparison trace spill disabled: %v\n", err)
 				}
 			}
-		}
-	}
-	for id, s := range states {
-		flush(id, s)
-	}
-	row := ComparisonRow{
-		Rounds:        rounds,
-		Acks:          len(ackLat),
-		Transmissions: tr.Transmissions,
-		Deliveries:    tr.Deliveries,
-		Collisions:    tr.Collisions,
-	}
-	if acked > 0 {
-		row.Reliability = float64(reliable) / float64(acked)
-	}
-	if len(ackLat) > 0 {
-		row.AckP50 = stats.QuantileInts(ackLat, 0.5)
-		row.AckP95 = stats.QuantileInts(ackLat, 0.95)
-		for _, l := range ackLat {
-			if l > row.AckMax {
-				row.AckMax = l
+			return nil
+		},
+		Finish: func(i int, p world.Policy, inst *world.Instance, e *sim.Engine) error {
+			row := world.Summarize(e.Trace(), rounds, inst.Neighbors)
+			if err := e.Trace().SpillError(); err != nil {
+				fmt.Fprintf(os.Stderr, "exp: comparison trace spill degraded: %v\n", err)
 			}
-		}
-		row.MsgsPerAck = float64(tr.Transmissions) / float64(len(ackLat))
+			e.Trace().CloseSpill()
+			row.Topology = "sweep-geometric"
+			row.N = n
+			row.Algorithm = p.Name
+			row.Model = p.Model
+			row.Senders = senders
+			rows = append(rows, row)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(recvLat) > 0 {
-		row.FirstRecvP50 = stats.QuantileInts(recvLat, 0.5)
-	}
-	if rounds > 0 {
-		row.DeliveriesPerRound = float64(tr.Deliveries) / float64(rounds)
-	}
-	if tr.Deliveries+tr.Collisions > 0 {
-		row.CollisionRate = float64(tr.Collisions) / float64(tr.Deliveries+tr.Collisions)
-	}
-	return row
+	return rows, nil
 }
 
 // ComparisonTable renders a report as a stats table for terminal output.
@@ -509,53 +294,4 @@ func runSINRExp(size Size, seed uint64) (*Result, error) {
 		return nil, fmt.Errorf("E-SINR: %d isolation-range violations", rangeViolations)
 	}
 	return &Result{ID: "E-SINR", Claim: "SINR reception model sanity", Tables: []*stats.Table{tbl}}, nil
-}
-
-// isNeighbor reports whether v is in the ascending neighbor list.
-func isNeighbor(neigh []int32, v int32) bool {
-	_, ok := slices.BinarySearch(neigh, v)
-	return ok
-}
-
-// isolationNeighbors returns, per node, the ascending list of nodes within
-// the given distance — the SINR counterpart of reliable adjacency for the
-// reliability metric. The dense grid index with the distance-radius stencil
-// keeps it O(n · density) rather than all-pairs.
-func isolationNeighbors(emb []geo.Point, radius float64) [][]int32 {
-	n := len(emb)
-	out := make([][]int32, n)
-	gi := geo.BuildGridIndex(emb)
-	stencil := geo.NeighborStencil(radius)
-	for u := 0; u < n; u++ {
-		gi.VisitNear(u, stencil, func(v int32) {
-			if int(v) != u && geo.Dist(emb[u], emb[int(v)]) <= radius {
-				out[u] = append(out[u], v)
-			}
-		})
-		slices.Sort(out[u])
-	}
-	return out
-}
-
-// isolationNeighborsPerSource is the non-uniform-power variant: node u's
-// neighbor set is the nodes within radii[u], u's own isolation range. One
-// stencil sized for the largest radius serves every source.
-func isolationNeighborsPerSource(emb []geo.Point, radii []float64) [][]int32 {
-	n := len(emb)
-	out := make([][]int32, n)
-	gi := geo.BuildGridIndex(emb)
-	maxR := 0.0
-	for _, r := range radii {
-		maxR = math.Max(maxR, r)
-	}
-	stencil := geo.NeighborStencil(maxR)
-	for u := 0; u < n; u++ {
-		gi.VisitNear(u, stencil, func(v int32) {
-			if int(v) != u && geo.Dist(emb[u], emb[int(v)]) <= radii[u] {
-				out[u] = append(out[u], v)
-			}
-		})
-		slices.Sort(out[u])
-	}
-	return out
 }

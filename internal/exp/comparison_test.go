@@ -5,76 +5,16 @@ import (
 	"encoding/json"
 	"testing"
 
-	"lbcast/internal/sim"
+	"lbcast/internal/world"
 )
-
-// TestSummarizeComparisonRun feeds a hand-written trace through the metric
-// extraction: two broadcasts from node 1, one acked after reaching its only
-// neighbor (reliable), one acked without (unreliable).
-func TestSummarizeComparisonRun(t *testing.T) {
-	tr := &sim.Trace{}
-	m1, m2 := sim.NewMsgID(1, 1), sim.NewMsgID(1, 2)
-	events := []sim.Event{
-		{Round: 1, Node: 1, Kind: sim.EvBcast, MsgID: m1},
-		{Round: 3, Node: 2, Kind: sim.EvRecv, From: 1, MsgID: m1},
-		{Round: 5, Node: 1, Kind: sim.EvAck, MsgID: m1},
-		{Round: 6, Node: 1, Kind: sim.EvBcast, MsgID: m2},
-		{Round: 9, Node: 1, Kind: sim.EvAck, MsgID: m2},
-	}
-	for _, ev := range events {
-		tr.Record(ev)
-	}
-	tr.Transmissions, tr.Deliveries, tr.Collisions = 10, 4, 1
-
-	neigh := func(src int) []int32 { return []int32{2} }
-	row := summarizeComparisonRun(tr, 20, neigh)
-
-	if row.Acks != 2 {
-		t.Errorf("acks = %d, want 2", row.Acks)
-	}
-	if row.Reliability != 0.5 {
-		t.Errorf("reliability = %v, want 0.5 (one of two acked broadcasts reached node 2)", row.Reliability)
-	}
-	if row.AckP50 != 3.5 || row.AckMax != 4 {
-		t.Errorf("ack p50/max = %v/%d, want 3.5/4", row.AckP50, row.AckMax)
-	}
-	if row.FirstRecvP50 != 2 {
-		t.Errorf("first-recv p50 = %v, want 2", row.FirstRecvP50)
-	}
-	if row.MsgsPerAck != 5 {
-		t.Errorf("msgs/ack = %v, want 5", row.MsgsPerAck)
-	}
-	if row.DeliveriesPerRound != 0.2 {
-		t.Errorf("deliveries/round = %v, want 0.2", row.DeliveriesPerRound)
-	}
-	if row.CollisionRate != 0.2 {
-		t.Errorf("collision rate = %v, want 0.2", row.CollisionRate)
-	}
-}
-
-func TestIsNeighbor(t *testing.T) {
-	neigh := []int32{2, 5, 9}
-	for _, v := range neigh {
-		if !isNeighbor(neigh, v) {
-			t.Errorf("member %d not found", v)
-		}
-	}
-	for _, v := range []int32{0, 3, 10} {
-		if isNeighbor(neigh, v) {
-			t.Errorf("non-member %d found", v)
-		}
-	}
-	if isNeighbor(nil, 1) {
-		t.Error("empty list matched")
-	}
-}
 
 // TestComparisonReportJSON pins the documented schema fields.
 func TestComparisonReportJSON(t *testing.T) {
 	rep := &ComparisonReport{
-		Schema: "lbcast-comparison/v1",
-		Seed:   7,
-		Size:   "small",
+		Schema:   "lbcast-comparison/v2",
+		Seed:     7,
+		Size:     "small",
+		Policies: []string{"lbalg"},
 		Rows: []ComparisonRow{{
 			Topology: "sweep-geometric", N: 48, Algorithm: "lbalg", Model: "dualgraph",
 			Rounds: 100, Senders: 4, Acks: 2, Reliability: 1,
@@ -88,8 +28,12 @@ func TestComparisonReportJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded["schema"] != "lbcast-comparison/v1" {
+	if decoded["schema"] != "lbcast-comparison/v2" {
 		t.Errorf("schema field = %v", decoded["schema"])
+	}
+	pols, ok := decoded["policies"].([]any)
+	if !ok || len(pols) != 1 || pols[0] != "lbalg" {
+		t.Errorf("policies field = %v", decoded["policies"])
 	}
 	rows, ok := decoded["rows"].([]any)
 	if !ok || len(rows) != 1 {
@@ -107,14 +51,14 @@ func TestComparisonReportJSON(t *testing.T) {
 }
 
 // TestComparisonSmoke runs the real matrix at a reduced scale by driving
-// one topology point directly.
+// one topology point directly through the World harness.
 func TestComparisonSmoke(t *testing.T) {
-	rows, err := runComparisonPoint(24, 1, 0.2, 400)
+	rows, err := runComparisonPoint(24, 1, 0.2, 400, world.All(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 6 {
-		t.Fatalf("got %d rows, want 6 contenders", len(rows))
+		t.Fatalf("got %d rows, want 6 policies", len(rows))
 	}
 	seen := map[string]bool{}
 	for _, r := range rows {
@@ -128,7 +72,21 @@ func TestComparisonSmoke(t *testing.T) {
 	}
 	for _, name := range []string{"lbalg", "contention-uniform", "contention-cycling", "decay", "sinr-local", "sinr-pernode"} {
 		if !seen[name] {
-			t.Errorf("missing contender %s", name)
+			t.Errorf("missing policy %s", name)
+		}
+	}
+}
+
+// TestComparisonUnknownPolicy pins the CLI-facing error: an unknown policy
+// name fails with the registered set spelled out.
+func TestComparisonUnknownPolicy(t *testing.T) {
+	_, err := RunComparisonPolicies(SizeSmall, 1, []string{"bogus"}, 1)
+	if err == nil {
+		t.Fatal("no error for unknown policy")
+	}
+	for _, want := range []string{"bogus", "lbalg", "sinr-pernode"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
 }

@@ -6,9 +6,10 @@
 // knee appears at the same place on the x-axis and the curves are
 // comparable even though the policies' absolute service times differ by
 // orders of magnitude. Arrival schedules are compiled from (seed, load)
-// alone before any run, from per-node independent streams. Runs use the
-// sequential driver, so one invocation is deterministic across GOMAXPROCS
-// settings.
+// alone before any run, from per-node independent streams. Policies come
+// from the world registry and their engines run concurrently on the fleet
+// pool; each engine is sequential, so one invocation is deterministic
+// across GOMAXPROCS and worker settings.
 
 package exp
 
@@ -18,59 +19,24 @@ import (
 	"io"
 	"math"
 
-	"lbcast/internal/baseline"
 	"lbcast/internal/core"
-	"lbcast/internal/dualgraph"
-	"lbcast/internal/sched"
 	"lbcast/internal/sim"
 	"lbcast/internal/stats"
 	"lbcast/internal/workload"
-	"lbcast/internal/xrand"
+	"lbcast/internal/world"
 )
 
 func init() {
 	register(Experiment{ID: "E-LOAD", Claim: "open-loop service under offered load: utilisation-normalised throughput/latency knee per policy", Run: runLoadExp})
 }
 
-// LoadRow is one (offered load, algorithm) measurement. JSON field names
-// are the stable schema documented in docs/EXPERIMENTS.md (lbcast-load/v1).
-type LoadRow struct {
-	// Load is the offered intensity in utilisation units: expected
-	// arrivals per node per ack window of this row's own policy (1.0 =
-	// arrivals exactly match the policy's service capacity). The sweep's
-	// independent variable.
-	Load float64 `json:"offered_per_window"`
-	// Rate is the resulting per-node per-round arrival rate.
-	Rate      float64 `json:"arrival_rate"`
-	Algorithm string  `json:"algorithm"`
-	N         int     `json:"n"`
-	Rounds    int     `json:"rounds"`
-	// Offered/Accepted/Dropped account every arrival; DropFrac is
-	// Dropped/Offered (0 when nothing was offered).
-	Offered  int     `json:"offered"`
-	Accepted int     `json:"accepted"`
-	Dropped  int     `json:"dropped"`
-	DropFrac float64 `json:"drop_frac"`
-	// Bcasts and Acks count broadcasts entering and completing service;
-	// Goodput is acks per round across the network.
-	Bcasts  int     `json:"bcasts"`
-	Acks    int     `json:"acks"`
-	Goodput float64 `json:"goodput_acks_per_round"`
-	// AckP50/P99/P999 are the arrival→ack sojourn percentiles in rounds
-	// (queue wait + service); SvcP50 the bcast→ack service portion alone.
-	AckP50  int `json:"ack_p50"`
-	AckP99  int `json:"ack_p99"`
-	AckP999 int `json:"ack_p999"`
-	SvcP50  int `json:"svc_p50"`
-	// MeanDepth is the mean total backlog across the network, MaxDepth the
-	// deepest any single queue got; Depth is the sampled time series.
-	MeanDepth float64                `json:"mean_queue_depth"`
-	MaxDepth  int                    `json:"max_queue_depth"`
-	Depth     []workload.DepthSample `json:"queue_depth_series,omitempty"`
-	// Engine-level counters for the same run.
-	Transmissions int `json:"transmissions"`
-	Collisions    int `json:"collisions"`
-}
+// loadDefaultPolicies is the default policy selection of the load matrix.
+var loadDefaultPolicies = []string{"lbalg", "contention-uniform", "decay"}
+
+// LoadRow is one (offered load, algorithm) measurement — the shared
+// world.LoadRow. JSON field names are the stable schema documented in
+// docs/EXPERIMENTS.md.
+type LoadRow = world.LoadRow
 
 // ScenarioRow is one preset-scenario run (fastest policy): the named
 // workload shapes from internal/workload exercised end to end.
@@ -87,6 +53,8 @@ type LoadReport struct {
 	Schema string `json:"schema"`
 	Seed   uint64 `json:"seed"`
 	Size   string `json:"size"`
+	// Policies lists the selected policy names in selection order.
+	Policies []string `json:"policies"`
 	// Rows holds one entry per (load, algorithm), loads ascending — each
 	// algorithm's knee curve read along its load column.
 	Rows []LoadRow `json:"rows"`
@@ -111,36 +79,56 @@ var loadLevels = []float64{0.25, 0.5, 1, 2, 4}
 // loadQueueCap bounds every node's queue in the sweep rows.
 const loadQueueCap = 8
 
-// RunLoad executes the load matrix: one constant-density geometric
-// topology (the comparison family), and for every (load, contender) pair a
-// Poisson arrival plan whose rate is that load in the contender's own
-// utilisation units.
+// RunLoad executes the load matrix with the default policy selection and
+// worker count. See RunLoadPolicies.
 func RunLoad(size Size, seed uint64) (*LoadReport, error) {
+	return RunLoadPolicies(size, seed, nil, 0)
+}
+
+// RunLoadPolicies executes the load matrix: one constant-density geometric
+// topology (the comparison family), and for every (load, policy) pair a
+// Poisson arrival plan whose rate is that load in the policy's own
+// utilisation units. names selects policies from the world registry (nil
+// means the default trio); workers bounds engine concurrency (≤ 0 means
+// GOMAXPROCS) — the report is byte-identical at any worker count.
+func RunLoadPolicies(size Size, seed uint64, names []string, workers int) (*LoadReport, error) {
+	if names == nil {
+		names = loadDefaultPolicies
+	}
+	policies, err := world.Select(names)
+	if err != nil {
+		return nil, err
+	}
 	n := pick(size, 48, 100, 250)
 	roundsCap := pick(size, 400_000, 900_000, 2_000_000)
 	const eps = 0.2
 
 	rep := &LoadReport{
-		Schema: "lbcast-load/v1",
-		Seed:   seed,
-		Size:   comparisonSizeName(size),
+		Schema:   "lbcast-load/v2",
+		Seed:     seed,
+		Size:     comparisonSizeName(size),
+		Policies: names,
 		Notes: []string{
 			"topology: constant-density random geometric (comparison family), r=1.5, grey-zone links unreliable",
-			"load = utilisation: expected arrivals per node per ack window of the row's own policy (1.0 saturates it); same generator seed per load across contenders",
+			"load = utilisation: expected arrivals per node per ack window of the row's own policy (1.0 saturates it); same generator seed per load across policies",
 			fmt.Sprintf("per-node FIFO queues, capacity %d, drop-newest; ack latency = arrival→ack sojourn (queue wait + service)", loadQueueCap),
-			"dual-graph scatter with the oblivious random½ link scheduler; sequential driver (GOMAXPROCS-independent)",
-			fmt.Sprintf("ε=%v sizes every contender's acknowledgement window", eps),
+			"dual-graph scatter with the oblivious random½ link scheduler; per-policy engines are sequential (GOMAXPROCS-independent output)",
+			fmt.Sprintf("ε=%v sizes every policy's acknowledgement window", eps),
 			"scenario presets run against the fastest policy so queue dynamics, not raw saturation, dominate",
 		},
 	}
+	top, err := world.NewSweepTopology(n, seed, eps)
+	if err != nil {
+		return nil, err
+	}
 	for _, load := range loadLevels {
-		rows, err := runLoadPoint(n, seed, load, eps, roundsCap)
+		rows, err := runLoadPoint(top, seed, load, roundsCap, policies, workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: load=%v: %w", load, err)
 		}
 		rep.Rows = append(rep.Rows, rows...)
 	}
-	srows, err := runLoadScenarios(n, seed, eps, roundsCap)
+	srows, err := runLoadScenarios(top, seed, roundsCap, policies)
 	if err != nil {
 		return nil, fmt.Errorf("exp: load scenarios: %w", err)
 	}
@@ -148,162 +136,117 @@ func RunLoad(size Size, seed uint64) (*LoadReport, error) {
 	return rep, nil
 }
 
-// loadContenders builds the contender set over one topology's parameters.
-func loadContenders(delta, deltaPrime int, r, eps float64) ([]comparisonContender, core.Params, error) {
-	lbParams, err := core.DeriveParams(delta, deltaPrime, r, eps)
-	if err != nil {
-		return nil, core.Params{}, err
-	}
-	return []comparisonContender{
-		{"lbalg", "dualgraph", nil, nil, lbParams.TAckBound(), func(int) core.Service {
-			return core.NewLBAlg(lbParams)
-		}},
-		{"contention-uniform", "dualgraph", nil, nil, baseline.ContentionAckRounds(deltaPrime, eps), func(int) core.Service {
-			return baseline.NewContention(baseline.ContentionParams{
-				DeltaPrime: deltaPrime, Strategy: baseline.StrategyUniform, Eps: eps})
-		}},
-		{"decay", "dualgraph", nil, nil, baseline.DecayAckRounds(delta, eps), func(int) core.Service {
-			return baseline.NewDecay(baseline.DecayParams{Delta: delta, AckRounds: baseline.DecayAckRounds(delta, eps)})
-		}},
-	}, lbParams, nil
-}
-
-// loadGeometry builds the experiment's topology for n nodes.
-func loadGeometry(n int, seed uint64) (*dualgraph.Dual, error) {
-	side := math.Max(4, math.Sqrt(float64(n)/4))
-	return dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(seed))
-}
-
 // loadMinRounds floors every run's round budget so fast policies still
 // accumulate thousands of arrivals for the tail percentiles.
 const loadMinRounds = 20_000
 
-// loadRounds sizes a contender's round budget: at least eight of its own
+// loadRounds sizes a policy's round budget: at least eight of its own
 // ack windows (so completions pile up past the knee) and at least
 // loadMinRounds, capped by the size budget.
 func loadRounds(window, roundsCap int) int {
 	return min(roundsCap, max(8*window, loadMinRounds)+64)
 }
 
-// runLoadPoint runs every contender at one utilisation level. Each
-// contender's arrival rate is the load divided by its own ack window, over
-// a round budget covering several of those windows; the generator seed is
-// shared, so contenders with equal windows serve identical schedules.
-func runLoadPoint(n int, seed uint64, load, eps float64, roundsCap int) ([]LoadRow, error) {
-	ref, err := loadGeometry(n, seed)
+// runLoadPoint runs every selected policy at one utilisation level through
+// the World harness. Each policy's arrival rate is the load divided by its
+// own ack window, over a round budget covering several of those windows;
+// the generator seed is shared, so policies with equal windows serve
+// identical schedules. Plans are compiled before any engine runs.
+func runLoadPoint(top *world.Topology, seed uint64, load float64, roundsCap int, policies []world.Policy, workers int) ([]LoadRow, error) {
+	w, err := world.New(top, policies, workers)
 	if err != nil {
 		return nil, err
 	}
-	contenders, _, err := loadContenders(ref.Delta(), ref.DeltaPrime(), ref.R, eps)
-	if err != nil {
-		return nil, err
-	}
-
-	rows := make([]LoadRow, 0, len(contenders))
-	for ci, c := range contenders {
-		rounds := loadRounds(c.ackRounds, roundsCap)
-		rate := load / float64(c.ackRounds)
-		plan, err := workload.Poisson(workload.PoissonConfig{
-			N: n, Rounds: rounds, Rate: rate, Seed: seed ^ math.Float64bits(load),
+	n := top.Dual.N()
+	plans := make([]*workload.Plan, len(policies))
+	for i, inst := range w.Instances {
+		rounds := loadRounds(inst.AckWindow, roundsCap)
+		plans[i], err = workload.Poisson(workload.PoissonConfig{
+			N: n, Rounds: rounds, Rate: load / float64(inst.AckWindow),
+			Seed: seed ^ math.Float64bits(load),
 		})
 		if err != nil {
 			return nil, err
 		}
-		row, err := runLoadRun(ref, seed+uint64(ci)*1_000_003, plan, loadQueueCap, workload.DropNewest, c.build)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		row.Load = load
-		row.Rate = rate
-		row.Algorithm = c.name
-		rows = append(rows, *row)
+	}
+
+	traffics := make([]*workload.Traffic, len(policies))
+	rows := make([]LoadRow, 0, len(policies))
+	err = w.Run(world.Hooks{
+		Rounds: func(i int) int { return plans[i].Rounds },
+		Configure: func(i int, p world.Policy, inst *world.Instance, cfg *sim.Config) error {
+			engineSeed := world.EngineSeed(seed, i)
+			if err := configureLoadRun(cfg, inst, engineSeed, plans[i], loadQueueCap, workload.DropNewest, &traffics[i]); err != nil {
+				return err
+			}
+			return nil
+		},
+		Finish: func(i int, p world.Policy, inst *world.Instance, e *sim.Engine) error {
+			row := world.SummarizeLoad(traffics[i].Metrics(), e.Trace(), plans[i])
+			row.Load = load
+			row.Rate = load / float64(inst.AckWindow)
+			row.Algorithm = p.Name
+			rows = append(rows, row)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-// runLoadRun executes one (plan, contender) run and summarises its
-// metrics. The dual graph is shared read-only across runs (no churn
-// patches it here), so every contender sees the identical world; the
-// engine seed varies per contender exactly as in the other matrices.
-func runLoadRun(d *dualgraph.Dual, engineSeed uint64, plan *workload.Plan, capacity int,
-	policy workload.DropPolicy, build func(int) core.Service) (*LoadRow, error) {
+// configureLoadRun fills one open-loop engine configuration: the policy's
+// services behind per-node queues fed by the plan, the policy's channel
+// seeded with the engine seed (the load matrix keys the link scheduler to
+// the engine seed, unlike the shared-scheduler comparison matrices), and
+// the traffic harness as environment. *traffic receives the harness for the
+// summary pass.
+func configureLoadRun(cfg *sim.Config, inst *world.Instance, engineSeed uint64, plan *workload.Plan,
+	capacity int, policy workload.DropPolicy, traffic **workload.Traffic) error {
 
-	n := d.N()
+	n := plan.N
 	svcs := make([]core.Service, n)
 	procs := make([]sim.Process, n)
 	for u := 0; u < n; u++ {
-		svcs[u] = build(u)
+		svcs[u] = inst.NewService(u)
 		procs[u] = svcs[u]
 	}
-	traffic, err := workload.NewTraffic(workload.Config{
+	tr, err := workload.NewTraffic(workload.Config{
 		Plan: plan, Services: svcs,
 		Capacity: capacity, Policy: policy,
 		LatencyCap: plan.Rounds,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	engine, err := sim.New(sim.Config{Dual: d, Procs: procs, Env: traffic,
-		Sched: sched.NewRandom(0.5, engineSeed), Seed: engineSeed})
-	if err != nil {
-		return nil, err
-	}
-	engine.Run(plan.Rounds)
-	row := summarizeLoadRun(traffic.Metrics(), engine.Trace(), plan)
-	return &row, nil
-}
-
-// summarizeLoadRun folds a run's workload metrics and engine trace into a
-// row.
-func summarizeLoadRun(m *workload.Metrics, tr *sim.Trace, plan *workload.Plan) LoadRow {
-	row := LoadRow{
-		N:             plan.N,
-		Rounds:        plan.Rounds,
-		Offered:       m.Offered,
-		Accepted:      m.Accepted,
-		Dropped:       m.Dropped,
-		Bcasts:        m.Bcasts,
-		Acks:          m.Acks,
-		AckP50:        m.Sojourn.Quantile(0.50),
-		AckP99:        m.Sojourn.Quantile(0.99),
-		AckP999:       m.Sojourn.Quantile(0.999),
-		SvcP50:        m.Service.Quantile(0.50),
-		MaxDepth:      m.DepthMax,
-		Depth:         m.Depth,
-		Transmissions: tr.Transmissions,
-		Collisions:    tr.Collisions,
-	}
-	if m.Offered > 0 {
-		row.DropFrac = float64(m.Dropped) / float64(m.Offered)
-	}
-	if m.Rounds > 0 {
-		row.Goodput = float64(m.Acks) / float64(m.Rounds)
-		row.MeanDepth = float64(m.DepthSum) / float64(m.Rounds)
-	}
-	return row
+	cfg.Procs = procs
+	cfg.Env = tr
+	cfg.Seed = engineSeed
+	inst.Channel(cfg, engineSeed)
+	*traffic = tr
+	return nil
 }
 
 // runLoadScenarios exercises the preset scenarios end to end against the
-// fastest contender: the presets' absolute rates were shaped for a layer
-// that acks within a few hundred rounds, so the fast policy lets queue
-// dynamics (bursts building and draining, stale readings superseded) show
-// up instead of uniform saturation.
-func runLoadScenarios(n int, seed uint64, eps float64, roundsCap int) ([]ScenarioRow, error) {
-	ref, err := loadGeometry(n, seed)
+// fastest selected policy: the presets' absolute rates were shaped for a
+// layer that acks within a few hundred rounds, so the fast policy lets
+// queue dynamics (bursts building and draining, stale readings superseded)
+// show up instead of uniform saturation.
+func runLoadScenarios(top *world.Topology, seed uint64, roundsCap int, policies []world.Policy) ([]ScenarioRow, error) {
+	w, err := world.New(top, policies, 1)
 	if err != nil {
 		return nil, err
 	}
-	contenders, _, err := loadContenders(ref.Delta(), ref.DeltaPrime(), ref.R, eps)
-	if err != nil {
-		return nil, err
-	}
-	fast := contenders[0]
-	for _, c := range contenders[1:] {
-		if c.ackRounds < fast.ackRounds {
-			fast = c
+	fi := 0
+	for i, inst := range w.Instances {
+		if inst.AckWindow < w.Instances[fi].AckWindow {
+			fi = i
 		}
 	}
-	rounds := loadRounds(fast.ackRounds, roundsCap)
+	fast, fastInst := w.Policies[fi], w.Instances[fi]
+	rounds := loadRounds(fastInst.AckWindow, roundsCap)
+	n := top.Dual.N()
 
 	var rows []ScenarioRow
 	for _, name := range workload.ScenarioNames() {
@@ -311,18 +254,25 @@ func runLoadScenarios(n int, seed uint64, eps float64, roundsCap int) ([]Scenari
 		if err != nil {
 			return nil, err
 		}
-		row, err := runLoadRun(ref, seed, sc.Plan, sc.Capacity, sc.Policy, fast.build)
+		cfg := sim.Config{Dual: top.Dual}
+		var traffic *workload.Traffic
+		if err := configureLoadRun(&cfg, fastInst, seed, sc.Plan, sc.Capacity, sc.Policy, &traffic); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		engine, err := sim.New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
+		engine.Run(sc.Plan.Rounds)
+		row := world.SummarizeLoad(traffic.Metrics(), engine.Trace(), sc.Plan)
 		row.Rate = sc.Plan.OfferedLoad()
-		row.Load = row.Rate * float64(fast.ackRounds)
-		row.Algorithm = fast.name
+		row.Load = row.Rate * float64(fastInst.AckWindow)
+		row.Algorithm = fast.Name
 		rows = append(rows, ScenarioRow{
 			Scenario: name,
 			Policy:   sc.Policy.String(),
 			Capacity: sc.Capacity,
-			LoadRow:  *row,
+			LoadRow:  row,
 		})
 	}
 	return rows, nil

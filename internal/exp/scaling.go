@@ -94,10 +94,34 @@ func (s *sweepProc) Receive(t, from int, payload any, ok bool) {
 // same hear events — so banked and per-node rows measure the identical
 // execution; only the dispatch cost differs. This is the workload-side half
 // of the batch path (the protocol-side half is core.NodeStateBank).
+//
+// Hear events bypass the per-node recorders: ReceiveRange stamps them into
+// flat per-node columns (range calls touch disjoint node ranges, so the
+// concurrent drivers need no synchronisation) and FlushRound emits the
+// round's batch through Trace.AppendHearBatch in ascending node order —
+// exactly the order the sorted recorder drain produced, since the sweep
+// records at most one hear per node per round. PR 9 measured the banked
+// n = 10⁵ sweep row as recorder-bound; this is the cure.
 type sweepBank struct {
 	p        float64
 	envs     []*sim.NodeEnv
 	payloads []any
+
+	// hearStamp/hearFrom are the per-node hear columns: node u heard
+	// hearFrom[u] in round hearStamp[u]. Stamp comparison makes them
+	// self-clearing round to round.
+	hearStamp []int32
+	hearFrom  []int32
+	// nodes/froms are FlushRound's reused batch scratch.
+	nodes, froms []int32
+}
+
+// newSweepBank builds a bank for n nodes.
+func newSweepBank(n int, txProb float64) *sweepBank {
+	return &sweepBank{
+		p: txProb, envs: make([]*sim.NodeEnv, n), payloads: make([]any, n),
+		hearStamp: make([]int32, n), hearFrom: make([]int32, n),
+	}
 }
 
 // TransmitRange implements sim.ProcessBank.
@@ -119,8 +143,24 @@ func (b *sweepBank) ReceiveRange(t, lo, hi int, v *sim.RoundView) {
 			continue
 		}
 		if rx := &v.Rx[u]; !v.Transmit[u] && rx.Stamp == t32 && rx.Count == 1 {
-			b.envs[u].Rec.Record(sim.Event{Round: t, Node: u, Kind: sim.EvHear, From: int(rx.From)})
+			b.hearStamp[u], b.hearFrom[u] = t32, rx.From
 		}
+	}
+}
+
+// FlushRound implements sim.RoundFlusher: collect the round's hears in
+// ascending node order and bulk-append them.
+func (b *sweepBank) FlushRound(t int, tr *sim.Trace) {
+	t32 := int32(t)
+	b.nodes, b.froms = b.nodes[:0], b.froms[:0]
+	for u, stamp := range b.hearStamp {
+		if stamp == t32 {
+			b.nodes = append(b.nodes, int32(u))
+			b.froms = append(b.froms, b.hearFrom[u])
+		}
+	}
+	if len(b.nodes) > 0 {
+		tr.AppendHearBatch(t, b.nodes, b.froms)
 	}
 }
 
@@ -208,7 +248,7 @@ func RunScalingSweep(ns []int, seed uint64, txProb float64, workers []int) ([]Sw
 		})
 		rounds := sweepRounds(n)
 		measure := func(name, driver string, workers int, cfg sim.Config) error {
-			bank := &sweepBank{p: txProb, envs: make([]*sim.NodeEnv, n), payloads: make([]any, n)}
+			bank := newSweepBank(n, txProb)
 			procs := make([]sim.Process, n)
 			for u := range procs {
 				procs[u] = &sweepProc{p: txProb, bank: bank}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"lbcast/internal/dualgraph"
+	"lbcast/internal/sched"
+	"lbcast/internal/sim"
+	"lbcast/internal/xrand"
+)
+
+// TestSweepBankTraceEquivalence pins the bank's bulk-record path
+// (ReceiveRange stamping + FlushRound/AppendHearBatch) to the per-node
+// Process path: same topology, same seed, same rounds, byte-identical
+// traces. The round budget crosses several trace chunks so the columnar
+// batch fill is exercised across boundaries.
+func TestSweepBankTraceEquivalence(t *testing.T) {
+	n := 400
+	side := math.Max(4, math.Sqrt(float64(n)/4))
+	run := func(banked bool) *sim.Trace {
+		d, err := dualgraph.RandomGeometric(n, side, side, 1.5, dualgraph.GreyUnreliable, xrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bank *sweepBank
+		if banked {
+			bank = newSweepBank(n, 0.1)
+		}
+		procs := make([]sim.Process, n)
+		for u := range procs {
+			procs[u] = &sweepProc{p: 0.1, bank: bank}
+		}
+		cfg := sim.Config{Dual: d, Procs: procs, Seed: 7, Sched: sched.NewRandom(0.5, 7)}
+		if banked {
+			cfg.Bank = bank
+		}
+		e, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(300)
+		return e.Trace()
+	}
+	want, got := run(false), run(true)
+	if want.Len() != got.Len() {
+		t.Fatalf("Len: per-node %d, banked %d", want.Len(), got.Len())
+	}
+	if want.Len() < 3*4096 {
+		t.Fatalf("trace too short (%d events) to cross chunk boundaries", want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.At(i) != got.At(i) {
+			t.Fatalf("event %d: per-node %+v, banked %+v", i, want.At(i), got.At(i))
+		}
+	}
+	if want.Deliveries != got.Deliveries || want.Collisions != got.Collisions ||
+		want.Transmissions != got.Transmissions {
+		t.Fatalf("counters diverge: per-node %d/%d/%d, banked %d/%d/%d",
+			want.Transmissions, want.Deliveries, want.Collisions,
+			got.Transmissions, got.Deliveries, got.Collisions)
+	}
+}

@@ -25,7 +25,7 @@ func benchSweepRow(b *testing.B, banked bool) {
 	}
 	var bank *sweepBank
 	if banked {
-		bank = &sweepBank{p: 0.1, envs: make([]*sim.NodeEnv, n), payloads: make([]any, n)}
+		bank = newSweepBank(n, 0.1)
 	}
 	procs := make([]sim.Process, n)
 	for u := range procs {

@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+
+	"lbcast/internal/world"
+)
+
+// benchWorldComparisonPoint measures one full E-COMPARE topology point —
+// all six registered policies on cloned topologies, shared round budget —
+// through the World harness at the given worker count. The sequential
+// (workers=1) variant is the baseline-gated number; the Parallel variant
+// exists to read the fleet speedup off the same workload (compare the two
+// in the CI bench log; the gate only pins the sequential one because the
+// ratio depends on runner core count).
+func benchWorldComparisonPoint(b *testing.B, workers int) {
+	policies := world.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := runComparisonPoint(48, 1, 0.2, 2000, policies, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(policies) {
+			b.Fatalf("%d rows, want %d", len(rows), len(policies))
+		}
+	}
+}
+
+func BenchmarkWorldComparisonPoint(b *testing.B) { benchWorldComparisonPoint(b, 1) }
+func BenchmarkWorldComparisonPointParallel(b *testing.B) {
+	benchWorldComparisonPoint(b, runtime.GOMAXPROCS(0))
+}

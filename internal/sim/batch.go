@@ -49,6 +49,19 @@ type RoundView struct {
 	Down []bool
 }
 
+// RoundFlusher is the optional bulk-recording hook of a ProcessBank: a bank
+// that also implements it has FlushRound(t, trace) called once per round,
+// after the round's receive phase and delivery stats but before the
+// per-node recorder buffers drain. A bank that accumulates events in its
+// own columns (instead of going through each node's Recorder) emits them
+// here in one batch — Trace.AppendHearBatch — which removes the per-event
+// recorder round-trip from the hot receive path. The flush must emit events
+// in ascending node order so traces stay byte-identical to the recorder
+// path it replaces.
+type RoundFlusher interface {
+	FlushRound(t int, tr *Trace)
+}
+
 // ProcessBank executes node ranges in batch. Config.Bank supplies one
 // alongside the per-node Procs handles (which remain the Init path, the
 // goroutine-per-node driver's unit, and the oracle for equivalence tests).

@@ -98,7 +98,8 @@ type scatterShard struct {
 type Engine struct {
 	dual   *dualgraph.Dual
 	procs  []Process
-	bank   ProcessBank // non-nil: batch path for transmit/receive phases
+	bank   ProcessBank  // non-nil: batch path for transmit/receive phases
+	flush  RoundFlusher // non-nil when bank also bulk-records (see batch.go)
 	sched  LinkScheduler
 	batch  BatchLinkScheduler  // non-nil when sched supports batch fills
 	sparse SparseLinkScheduler // non-nil when sched supports subset queries
@@ -242,6 +243,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.view = RoundView{Payloads: e.payloads, Transmit: e.transmit, Rx: e.rx}
 	e.seed = cfg.Seed
+	if f, ok := cfg.Bank.(RoundFlusher); ok {
+		e.flush = f
+	}
 	if cfg.Reception != nil {
 		e.recv = cfg.Reception
 		e.recvOut = make([]int32, n)
@@ -502,6 +506,9 @@ func (e *Engine) finishRound(t int) {
 			Deliveries:    e.trace.Deliveries - delBefore,
 			Collisions:    e.trace.Collisions - colBefore,
 		})
+	}
+	if e.flush != nil {
+		e.flush.FlushRound(t, e.trace)
 	}
 	e.drainRecorders(t)
 	e.trace.RoundsRun++

@@ -1,0 +1,75 @@
+// This file runs fleets of independent engines: the World comparison
+// harness builds one engine per policy over clones of one configuration and
+// runs them concurrently. Each engine is fully self-contained (its own
+// processes, scheduler, environment and trace), so fleet scheduling needs
+// no synchronisation beyond the pool's completion edges — determinism of
+// every individual engine is untouched by how the fleet interleaves them.
+
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// NewClones builds k engines from one base configuration: each engine's
+// Config starts as a struct copy of base, vary(i, &cfg) customises it
+// (processes, seed, scheduler — anything shared and mutable must be
+// replaced here), and New validates it. On any error the already-built
+// engines are closed and the error returned.
+func NewClones(base Config, k int, vary func(i int, cfg *Config) error) ([]*Engine, error) {
+	engines := make([]*Engine, 0, k)
+	fail := func(err error) ([]*Engine, error) {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		cfg := base
+		if err := vary(i, &cfg); err != nil {
+			return fail(err)
+		}
+		e, err := New(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		engines = append(engines, e)
+	}
+	return engines, nil
+}
+
+// RunFleet executes engines[i].Run(rounds[i]) for every i, running up to
+// workers engines concurrently (≤ 0 means GOMAXPROCS; 1 degenerates to the
+// sequential loop). Engines are claimed off a shared counter, so long and
+// short runs pack onto the workers without a static partition. RunFleet
+// returns when every engine has finished its budget.
+func RunFleet(workers int, engines []*Engine, rounds []int) {
+	if len(engines) != len(rounds) {
+		panic("sim: RunFleet engines/rounds length mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	if workers <= 1 {
+		for i, e := range engines {
+			e.Run(rounds[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	pool := newWorkerPool(workers)
+	defer pool.stop()
+	pool.run(workers, func(int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(engines) {
+				return
+			}
+			engines[i].Run(rounds[i])
+		}
+	})
+}

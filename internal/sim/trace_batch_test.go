@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// TestAppendHearBatch pins the bulk hear append to the per-event Record
+// path: identical events in identical order, across chunk boundaries, with
+// the per-kind counter kept in sync.
+func TestAppendHearBatch(t *testing.T) {
+	var batch, loop Trace
+	// Three rounds sized to straddle several 4096-event chunks, plus a
+	// ragged tail that leaves the last chunk partially filled.
+	sizes := []int{3000, eventChunkLen + 500, 77}
+	round := 0
+	for _, sz := range sizes {
+		round++
+		nodes := make([]int32, sz)
+		froms := make([]int32, sz)
+		for i := range nodes {
+			nodes[i] = int32(i)
+			froms[i] = int32((i * 7) % 1000)
+		}
+		batch.AppendHearBatch(round, nodes, froms)
+		for i := range nodes {
+			loop.Record(Event{Round: round, Node: int(nodes[i]), Kind: EvHear, From: int(froms[i])})
+		}
+	}
+	if batch.Len() != loop.Len() {
+		t.Fatalf("Len: batch %d, loop %d", batch.Len(), loop.Len())
+	}
+	for i := 0; i < batch.Len(); i++ {
+		if batch.At(i) != loop.At(i) {
+			t.Fatalf("event %d: batch %+v, loop %+v", i, batch.At(i), loop.At(i))
+		}
+	}
+	if got, want := batch.KindCount(EvHear), loop.KindCount(EvHear); got != want {
+		t.Fatalf("KindCount(EvHear): batch %d, loop %d", got, want)
+	}
+}
+
+func TestAppendHearBatchLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	var tr Trace
+	tr.AppendHearBatch(1, []int32{1, 2}, []int32{3})
+}

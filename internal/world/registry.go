@@ -1,0 +1,94 @@
+package world
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
+
+// Policy is one registered local-broadcast contender: a stable name, a
+// one-line description for the CLI listing, the physical-layer label its
+// report rows carry, and the factory that instantiates it over a topology.
+type Policy struct {
+	// Name is the registry key and the `algorithm` column of every report
+	// row (e.g. "lbalg", "contention-uniform", "sinr-local").
+	Name string
+	// Description is the one-liner `lbsim -policies list` prints.
+	Description string
+	// Model labels the physical layer: "dualgraph" (scatter over (G, G′))
+	// or "sinr".
+	Model string
+	// Instantiate builds the policy's per-topology instance. It is called
+	// once per (topology, run); expensive artifacts (SINR models, derived
+	// parameters) belong to the returned Instance, not to package state.
+	Instantiate func(top *Topology) (*Instance, error)
+}
+
+// registry holds the policies in registration order; byName indexes it.
+var registry struct {
+	order  []Policy
+	byName map[string]int
+}
+
+// Register adds a policy to the registry. It panics on an empty or
+// duplicate name and on a nil factory: registration runs from package init
+// functions, where a collision is a programming error no caller could
+// recover from.
+func Register(p Policy) {
+	if p.Name == "" {
+		panic("world: Register with empty policy name")
+	}
+	if p.Instantiate == nil {
+		panic(fmt.Sprintf("world: policy %q registered without Instantiate", p.Name))
+	}
+	if registry.byName == nil {
+		registry.byName = make(map[string]int)
+	}
+	if _, dup := registry.byName[p.Name]; dup {
+		panic(fmt.Sprintf("world: duplicate policy registration %q", p.Name))
+	}
+	registry.byName[p.Name] = len(registry.order)
+	registry.order = append(registry.order, p)
+}
+
+// All returns every registered policy in registration order — the order
+// the comparison matrix emits its columns in.
+func All() []Policy { return slices.Clone(registry.order) }
+
+// Names lists the registered policy names in registration order.
+func Names() []string {
+	out := make([]string, len(registry.order))
+	for i, p := range registry.order {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Get looks a policy up by name.
+func Get(name string) (Policy, bool) {
+	i, ok := registry.byName[name]
+	if !ok {
+		return Policy{}, false
+	}
+	return registry.order[i], true
+}
+
+// Select resolves a name list to policies, preserving the given order. An
+// unknown name errors with the registered set, so CLI callers surface the
+// valid spellings without extra plumbing.
+func Select(names []string) ([]Policy, error) {
+	out := make([]Policy, 0, len(names))
+	for _, name := range names {
+		p, ok := Get(name)
+		if !ok {
+			return nil, fmt.Errorf("world: unknown policy %q (registered policies: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("world: empty policy selection (registered policies: %s)",
+			strings.Join(Names(), ", "))
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// This file holds the shared per-incarnation summarizers every experiment
+// row goes through. Before the World harness each experiment carried its
+// own copy of the first-recv/ack-latency tally; folding them here means one
+// definition of "acknowledged", "reliable" and "sojourn" across E-COMPARE,
+// E-CHURN and E-LOAD.
+
+package world
+
+import (
+	"lbcast/internal/sim"
+	"lbcast/internal/stats"
+	"lbcast/internal/workload"
+)
+
+// Row is one (topology, policy) measurement of a comparison matrix. JSON
+// field names are the stable row schema documented in docs/EXPERIMENTS.md;
+// they are shared verbatim between the v1 and v2 report envelopes.
+type Row struct {
+	// Topology identifies the graph family ("sweep-geometric").
+	Topology string `json:"topology"`
+	// N is the node count of the topology instance.
+	N int `json:"n"`
+	// Algorithm names the policy: lbalg, contention-uniform,
+	// contention-cycling, decay, sinr-local or sinr-pernode.
+	Algorithm string `json:"algorithm"`
+	// Model is the physical layer the run used: "dualgraph" (scatter over
+	// (G, G′) with the random½ link scheduler) or "sinr".
+	Model string `json:"model"`
+	// Rounds is the executed round budget (identical for every policy on
+	// the same topology instance).
+	Rounds int `json:"rounds"`
+	// Senders is the number of saturated senders driving the run.
+	Senders int `json:"senders"`
+	// Acks is the number of completed (acknowledged) broadcasts.
+	Acks int `json:"acks"`
+	// Reliability is the fraction of acknowledged broadcasts whose every
+	// neighbor (reliable neighbors under the dual-graph model, nodes
+	// within the isolation range under SINR) produced a recv output before
+	// the ack — the LB problem's reliability condition made comparable
+	// across physical layers.
+	Reliability float64 `json:"reliability"`
+	// AckP50/AckP95/AckMax summarise bcast→ack latency in rounds.
+	AckP50 float64 `json:"ack_p50"`
+	AckP95 float64 `json:"ack_p95"`
+	AckMax int     `json:"ack_max"`
+	// FirstRecvP50 is the median bcast→first-recv latency in rounds over
+	// messages that reached at least one listener: the cross-model
+	// progress proxy.
+	FirstRecvP50 float64 `json:"first_recv_p50"`
+	// MsgsPerAck is the message complexity: channel transmissions spent
+	// per completed broadcast.
+	MsgsPerAck float64 `json:"msgs_per_ack"`
+	// DeliveriesPerRound is the channel goodput: successful receptions per
+	// round across all listeners.
+	DeliveriesPerRound float64 `json:"deliveries_per_round"`
+	// CollisionRate is Collisions/(Deliveries+Collisions): the fraction of
+	// reception opportunities lost to interference.
+	CollisionRate float64 `json:"collision_rate"`
+	// Transmissions, Deliveries and Collisions are the raw channel
+	// counters backing the ratios.
+	Transmissions int `json:"transmissions"`
+	Deliveries    int `json:"deliveries"`
+	Collisions    int `json:"collisions"`
+}
+
+// Summarize extracts the comparison metrics from one trace in a single pass
+// over the events. neigh maps a source node to the neighbor set its
+// broadcasts must reach for the reliability metric (Instance.Neighbors).
+//
+// Message ids are tracked per incarnation: a restarted sender (churn's
+// Recover/Join) begins a fresh protocol instance whose sequence counter
+// restarts, so an id can be re-broadcast later in the trace. Each EvBcast
+// closes out the previous incarnation's statistics and starts a new
+// window; stray receptions of a prior incarnation's copies (still in
+// flight when the id was re-broadcast) are dropped rather than
+// mis-attributed.
+func Summarize(tr *sim.Trace, rounds int, neigh func(int) []int32) Row {
+	type msgState struct {
+		bcast     int
+		firstRecv int // -1 until first reception
+		ackRound  int // -1 until acked
+		reached   map[int32]struct{}
+	}
+	states := make(map[sim.MsgID]*msgState)
+	var ackLat, recvLat []int
+	reliable, acked := 0, 0
+	flush := func(id sim.MsgID, s *msgState) {
+		if s.firstRecv >= 0 {
+			recvLat = append(recvLat, s.firstRecv-s.bcast)
+		}
+		if s.ackRound >= 0 {
+			acked++
+			if len(s.reached) == len(neigh(id.Src())) {
+				reliable++
+			}
+		}
+	}
+	for ev := range tr.Events() {
+		switch ev.Kind {
+		case sim.EvBcast:
+			if s, ok := states[ev.MsgID]; ok {
+				flush(ev.MsgID, s)
+			}
+			states[ev.MsgID] = &msgState{bcast: ev.Round, firstRecv: -1, ackRound: -1}
+		case sim.EvAck:
+			if s, ok := states[ev.MsgID]; ok && s.ackRound < 0 {
+				s.ackRound = ev.Round
+				ackLat = append(ackLat, ev.Round-s.bcast)
+			}
+		case sim.EvRecv:
+			s, ok := states[ev.MsgID]
+			if !ok || ev.Round < s.bcast {
+				continue
+			}
+			if s.firstRecv < 0 {
+				s.firstRecv = ev.Round
+			}
+			// A reception in the ack round itself still counts toward
+			// reliability: the trace drains per-round events in node-id
+			// order, so the sender's EvAck can precede a same-round EvRecv
+			// without the reception being late. Strictly later rounds do
+			// not count.
+			if nl := neigh(ev.MsgID.Src()); isNeighbor(nl, int32(ev.Node)) {
+				if s.ackRound < 0 || ev.Round <= s.ackRound {
+					if s.reached == nil {
+						s.reached = make(map[int32]struct{})
+					}
+					s.reached[int32(ev.Node)] = struct{}{}
+				}
+			}
+		}
+	}
+	for id, s := range states {
+		flush(id, s)
+	}
+	row := Row{
+		Rounds:        rounds,
+		Acks:          len(ackLat),
+		Transmissions: tr.Transmissions,
+		Deliveries:    tr.Deliveries,
+		Collisions:    tr.Collisions,
+	}
+	if acked > 0 {
+		row.Reliability = float64(reliable) / float64(acked)
+	}
+	if len(ackLat) > 0 {
+		row.AckP50 = stats.QuantileInts(ackLat, 0.5)
+		row.AckP95 = stats.QuantileInts(ackLat, 0.95)
+		for _, l := range ackLat {
+			if l > row.AckMax {
+				row.AckMax = l
+			}
+		}
+		row.MsgsPerAck = float64(tr.Transmissions) / float64(len(ackLat))
+	}
+	if len(recvLat) > 0 {
+		row.FirstRecvP50 = stats.QuantileInts(recvLat, 0.5)
+	}
+	if rounds > 0 {
+		row.DeliveriesPerRound = float64(tr.Deliveries) / float64(rounds)
+	}
+	if tr.Deliveries+tr.Collisions > 0 {
+		row.CollisionRate = float64(tr.Collisions) / float64(tr.Deliveries+tr.Collisions)
+	}
+	return row
+}
+
+// LoadRow is one (offered load, policy) measurement of the open-loop
+// matrix. JSON field names are the stable lbcast-load row schema.
+type LoadRow struct {
+	// Load is the offered intensity in utilisation units: expected
+	// arrivals per node per ack window of this row's own policy (1.0 =
+	// arrivals exactly match the policy's service capacity). The sweep's
+	// independent variable.
+	Load float64 `json:"offered_per_window"`
+	// Rate is the resulting per-node per-round arrival rate.
+	Rate      float64 `json:"arrival_rate"`
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	Rounds    int     `json:"rounds"`
+	// Offered/Accepted/Dropped account every arrival; DropFrac is
+	// Dropped/Offered (0 when nothing was offered).
+	Offered  int     `json:"offered"`
+	Accepted int     `json:"accepted"`
+	Dropped  int     `json:"dropped"`
+	DropFrac float64 `json:"drop_frac"`
+	// Bcasts and Acks count broadcasts entering and completing service;
+	// Goodput is acks per round across the network.
+	Bcasts  int     `json:"bcasts"`
+	Acks    int     `json:"acks"`
+	Goodput float64 `json:"goodput_acks_per_round"`
+	// AckP50/P99/P999 are the arrival→ack sojourn percentiles in rounds
+	// (queue wait + service); SvcP50 the bcast→ack service portion alone.
+	AckP50  int `json:"ack_p50"`
+	AckP99  int `json:"ack_p99"`
+	AckP999 int `json:"ack_p999"`
+	SvcP50  int `json:"svc_p50"`
+	// MeanDepth is the mean total backlog across the network, MaxDepth the
+	// deepest any single queue got; Depth is the sampled time series.
+	MeanDepth float64                `json:"mean_queue_depth"`
+	MaxDepth  int                    `json:"max_queue_depth"`
+	Depth     []workload.DepthSample `json:"queue_depth_series,omitempty"`
+	// Engine-level counters for the same run.
+	Transmissions int `json:"transmissions"`
+	Collisions    int `json:"collisions"`
+}
+
+// SummarizeLoad folds a run's workload metrics and engine trace into a row.
+func SummarizeLoad(m *workload.Metrics, tr *sim.Trace, plan *workload.Plan) LoadRow {
+	row := LoadRow{
+		N:             plan.N,
+		Rounds:        plan.Rounds,
+		Offered:       m.Offered,
+		Accepted:      m.Accepted,
+		Dropped:       m.Dropped,
+		Bcasts:        m.Bcasts,
+		Acks:          m.Acks,
+		AckP50:        m.Sojourn.Quantile(0.50),
+		AckP99:        m.Sojourn.Quantile(0.99),
+		AckP999:       m.Sojourn.Quantile(0.999),
+		SvcP50:        m.Service.Quantile(0.50),
+		MaxDepth:      m.DepthMax,
+		Depth:         m.Depth,
+		Transmissions: tr.Transmissions,
+		Collisions:    tr.Collisions,
+	}
+	if m.Offered > 0 {
+		row.DropFrac = float64(m.Dropped) / float64(m.Offered)
+	}
+	if m.Rounds > 0 {
+		row.Goodput = float64(m.Acks) / float64(m.Rounds)
+		row.MeanDepth = float64(m.DepthSum) / float64(m.Rounds)
+	}
+	return row
+}
